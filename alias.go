@@ -1,0 +1,168 @@
+// Package jsymphony is a Go implementation of JavaSymphony (Thomas
+// Fahringer, IEEE CLUSTER 2000): a programming paradigm for
+// locality-oriented distributed and parallel applications.
+//
+// JavaSymphony lets the programmer — rather than an opaque runtime —
+// control data locality and load balancing: virtual architectures
+// (nodes, clusters, sites, domains) impose a hierarchy on the physical
+// installation; objects are created on, mapped to, and migrated between
+// architecture components, optionally under constraints over ~50
+// hardware/software system parameters; objects interact through
+// synchronous, asynchronous, and one-sided method invocation; classes
+// are selectively loaded onto exactly the nodes that need them; and
+// objects can be made persistent on external storage.
+//
+// The package runs on three substrates behind one API: a deterministic
+// discrete-event simulation of a heterogeneous workstation cluster (the
+// paper's evaluation environment), an in-process transport in real time,
+// and real TCP sockets.  See DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the reproduction of the paper's evaluation.
+package jsymphony
+
+import (
+	"jsymphony/internal/codebase"
+	"jsymphony/internal/core"
+	"jsymphony/internal/nas"
+	"jsymphony/internal/params"
+	"jsymphony/internal/rmi"
+	"jsymphony/internal/simnet"
+	"jsymphony/internal/virtarch"
+)
+
+// Virtual architecture components (paper §3, §4.2).
+type (
+	// Node is one allocated computing node.
+	Node = virtarch.Node
+	// Cluster is a collection of nodes.
+	Cluster = virtarch.Cluster
+	// Site is a collection of clusters.
+	Site = virtarch.Site
+	// Domain is a collection of sites — the top of an architecture.
+	Domain = virtarch.Domain
+	// Component is any of the above, usable as a placement target.
+	Component = virtarch.Component
+)
+
+// Constraint machinery (paper §4.2).
+type (
+	// Constraints is the paper's JSConstraints: a conjunction of
+	// "parameter op value" conditions.
+	Constraints = params.Constraints
+	// ParamID names a system parameter.
+	ParamID = params.ID
+	// ParamValue is a system parameter value (number or string).
+	ParamValue = params.Value
+	// Snapshot is a full parameter snapshot of a node or component.
+	Snapshot = params.Snapshot
+)
+
+// NewConstraints returns an empty constraint set ("new JSConstraints()").
+func NewConstraints() *Constraints { return params.NewConstraints() }
+
+// The JSConstants catalog (a selection; params package has all ~50).
+const (
+	NodeName   = params.NodeName
+	OSName     = params.OSName
+	CPUType    = params.CPUType
+	CPUClock   = params.CPUClock
+	PeakMFlops = params.PeakMFlops
+	TotalMem   = params.TotalMem
+	PeakBandwd = params.PeakBandwd
+	CPUSysLoad = params.CPUSysLoad
+	CPUUser    = params.CPUUserLoad
+	Idle       = params.Idle
+	AvailMem   = params.AvailMem
+	SwapRatio  = params.SwapRatio
+	NetLatency = params.NetLatency
+	NetBandwd  = params.NetBandwidth
+	LoadAvg1   = params.LoadAvg1
+	JSObjects  = params.JSObjects
+)
+
+// Object system re-exports (paper §4.4–4.7, §5.2).
+type (
+	// Ref is a first-order object handle, transmissible as a method
+	// parameter.
+	Ref = core.Ref
+	// Ctx is the execution context a hosted method receives when its
+	// first parameter is *jsymphony.Ctx.
+	Ctx = core.Ctx
+	// RuntimeAware objects are handed their hosting runtime on
+	// creation, migration, and load.
+	RuntimeAware = core.RuntimeAware
+	// Storage is the external store for persistent objects.
+	Storage = core.Storage
+	// PersistRecord is one stored object.
+	PersistRecord = core.PersistRecord
+)
+
+// NewMemStorage returns an in-memory persistent-object store.
+func NewMemStorage() Storage { return core.NewMemStorage() }
+
+// NewFileStorage returns a directory-backed persistent-object store.
+func NewFileStorage(dir string) (Storage, error) { return core.NewFileStorage(dir) }
+
+// Simulation re-exports: the evaluation substrate (paper §6).
+type (
+	// MachineSpec describes one simulated workstation.
+	MachineSpec = simnet.MachineSpec
+	// LoadProfile models owner-imposed background load.
+	LoadProfile = simnet.LoadProfile
+	// NASConfig tunes the network agent system periods.
+	NASConfig = nas.Config
+	// NASEvent is a failure/takeover notification.
+	NASEvent = nas.Event
+	// RMICost parameterizes simulated RMI CPU overheads.
+	RMICost = rmi.CostModel
+)
+
+// The paper's experimental conditions and cluster.
+var (
+	// Day is the paper's loaded-workstations condition.
+	Day = simnet.Day
+	// Night is the paper's idle-workstations condition.
+	Night = simnet.Night
+	// IdleProfile is a zero-load profile for exact-timing runs.
+	IdleProfile = simnet.Idle
+)
+
+// PaperCluster returns the 13-workstation inventory of the paper's
+// Section 6.
+func PaperCluster() []MachineSpec { return simnet.PaperCluster() }
+
+// UniformCluster returns n identical machines for controlled experiments.
+func UniformCluster(spec MachineSpec, n int) []MachineSpec {
+	return simnet.UniformCluster(spec, n)
+}
+
+// WideAreaCluster returns a two-site meta-computing installation (the
+// paper's "large scale wide area meta computing" setting): perSite
+// workstations in each of two sites connected by a WAN.
+func WideAreaCluster(perSite int) []MachineSpec {
+	return simnet.WideAreaCluster(perSite)
+}
+
+// Workstation models of the paper's cluster.
+var (
+	Sparc10_40  = simnet.Sparc10_40
+	Sparc5_70   = simnet.Sparc5_70
+	Sparc4_110  = simnet.Sparc4_110
+	Ultra1_170  = simnet.Ultra1_170
+	Ultra10_300 = simnet.Ultra10_300
+	Ultra10_440 = simnet.Ultra10_440
+)
+
+// RegisterClass adds a class to the installation-wide registry (the
+// CLASSPATH analogue): objects of the class can then be shipped with
+// codebases, created remotely, migrated, and persisted.  size models the
+// class's byte-code footprint; factory must return a pointer to a fresh
+// zero value.
+func RegisterClass(name string, size int, factory func() any) {
+	codebase.Register(name, size, factory)
+}
+
+// RegisterWireType makes a concrete type transmissible as a method
+// parameter or result (the analogue of implementing Serializable).
+// Classes registered with RegisterClass are covered automatically; call
+// this for auxiliary structs like task descriptors.
+func RegisterWireType(v any) { rmi.RegisterType(v) }

@@ -1,0 +1,85 @@
+// Command jsbench regenerates the paper's evaluation artifacts.
+//
+// Usage:
+//
+//	jsbench -experiment fig5 [-sizes 200,400,600,800] [-maxnodes 13] [-seed 1]
+//
+// It prints the Figure 5 table (execution time of the master/slave
+// matrix multiplication by node count, for each problem size, day and
+// night) and a PASS/FAIL report of the paper's qualitative claims.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"jsymphony/experiments"
+)
+
+func main() {
+	experiment := flag.String("experiment", "fig5", "experiment to run (fig5, mandel, automigrate)")
+	sizes := flag.String("sizes", "200,400,600,800", "comma-separated problem sizes")
+	maxNodes := flag.Int("maxnodes", 13, "sweep node counts 1..maxnodes")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	switch *experiment {
+	case "fig5":
+		runFig5(*sizes, *maxNodes, *seed)
+	case "mandel":
+		runMandel(*maxNodes, *seed)
+	case "automigrate":
+		runE3(*seed)
+	default:
+		fmt.Fprintf(os.Stderr, "jsbench: unknown experiment %q\n", *experiment)
+		os.Exit(2)
+	}
+}
+
+func runE3(seed int64) {
+	fmt.Println("E3 — automatic object migration under owner contention")
+	fmt.Println("(a workstation owner returns mid-run and seizes 90% of the CPU)")
+	fmt.Println()
+	cfg := experiments.E3Config{Seed: seed}
+	off, on := experiments.E3(cfg)
+	fmt.Printf("  automatic migration OFF: %7.2fs  (worker crawls behind the owner)\n", off.Elapsed.Seconds())
+	fmt.Printf("  automatic migration ON:  %7.2fs  (worker evacuated: %v)\n", on.Elapsed.Seconds(), on.Migrated)
+	fmt.Printf("  benefit: %.1fx\n", float64(off.Elapsed)/float64(on.Elapsed))
+}
+
+func runMandel(maxNodes int, seed int64) {
+	fmt.Printf("E2 — compute-bound Mandelbrot on the simulated cluster\n")
+	fmt.Printf("(contrast with Figure 5: tiny messages, so scaling holds on)\n\n")
+	pts := experiments.Mandel(maxNodes, seed)
+	experiments.WriteMandel(os.Stdout, pts)
+}
+
+func runFig5(sizeList string, maxNodes int, seed int64) {
+	var sizes []int
+	for _, s := range strings.Split(sizeList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "jsbench: bad size %q\n", s)
+			os.Exit(2)
+		}
+		sizes = append(sizes, n)
+	}
+	fmt.Printf("Figure 5 — JavaSymphony matrix multiplication on the simulated\n")
+	fmt.Printf("13-workstation heterogeneous cluster (virtual execution times)\n\n")
+	pts := experiments.Figure5(experiments.Figure5Config{
+		Sizes: sizes, MaxNodes: maxNodes, Seed: seed,
+	})
+	experiments.WriteFigure5(os.Stdout, pts)
+	fmt.Println()
+	lines, ok := experiments.ShapeReport(pts)
+	fmt.Println("Shape checks against the paper's claims:")
+	for _, l := range lines {
+		fmt.Println("  " + l)
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}

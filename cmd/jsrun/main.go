@@ -1,0 +1,144 @@
+// Command jsrun executes JavaSymphony workloads from the command line.
+//
+// Examples:
+//
+//	jsrun -workload matmul -n 800 -nodes 6 -profile night
+//	jsrun -workload matmul -n 64 -nodes 3 -exact          # verifies numerics
+//	jsrun -workload sweep  -n 400                         # node sweep 1..13
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"jsymphony"
+	"jsymphony/workloads/mandelbrot"
+	"jsymphony/workloads/matmul"
+)
+
+func main() {
+	workload := flag.String("workload", "matmul", "workload: matmul, sweep, mandel")
+	n := flag.Int("n", 400, "problem size (N×N matrices)")
+	nodes := flag.Int("nodes", 6, "cluster nodes (1 = sequential baseline)")
+	rows := flag.Int("rows", 0, "rows of A per task (0 = automatic)")
+	profile := flag.String("profile", "night", "background load: day, night, idle")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	exact := flag.Bool("exact", false, "execute the arithmetic and verify the result")
+	flag.Parse()
+
+	lp, ok := profileByName(*profile)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "jsrun: unknown profile %q\n", *profile)
+		os.Exit(2)
+	}
+
+	switch *workload {
+	case "matmul":
+		runMatmul(lp, *n, *nodes, *rows, *seed, *exact)
+	case "sweep":
+		runSweep(lp, *n, *rows, *seed)
+	case "mandel":
+		runMandel(lp, *n, *nodes, *seed, *exact)
+	default:
+		fmt.Fprintf(os.Stderr, "jsrun: unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+}
+
+func runMandel(lp jsymphony.LoadProfile, n, nodes int, seed int64, exact bool) {
+	env := jsymphony.NewSimEnv(jsymphony.PaperCluster(), lp, seed, jsymphony.EnvOptions{})
+	env.RunMain("", func(js *jsymphony.JS) {
+		cfg := mandelbrot.Config{Width: n, Height: n, MaxIter: 256, Nodes: nodes, Model: !exact}
+		st, err := mandelbrot.Run(js, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jsrun:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("mandelbrot %dx%d nodes=%d profile=%s tasks=%d: %.3fs virtual\n",
+			n, n, nodes, lp.Name, st.Tasks, st.Elapsed.Seconds())
+		fmt.Println("tasks per node:")
+		for _, name := range env.Nodes() {
+			if c, ok := st.TasksByNode[name]; ok {
+				fmt.Printf("  %-8s %d\n", name, c)
+			}
+		}
+	})
+}
+
+func profileByName(name string) (jsymphony.LoadProfile, bool) {
+	switch name {
+	case "day":
+		return jsymphony.Day, true
+	case "night":
+		return jsymphony.Night, true
+	case "idle":
+		return jsymphony.IdleProfile, true
+	}
+	return jsymphony.LoadProfile{}, false
+}
+
+func runMatmul(lp jsymphony.LoadProfile, n, nodes, rows int, seed int64, exact bool) {
+	env := jsymphony.NewSimEnv(jsymphony.PaperCluster(), lp, seed, jsymphony.EnvOptions{})
+	env.RunMain("", func(js *jsymphony.JS) {
+		cfg := matmul.Config{N: n, Nodes: nodes, RowsPerTask: rows, Model: !exact, Seed: seed}
+		var st matmul.Stats
+		var err error
+		if nodes <= 1 {
+			st, err = matmul.RunSequential(js, cfg)
+		} else {
+			st, err = matmul.Run(js, cfg)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jsrun:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("matmul N=%d nodes=%d profile=%s tasks=%d: %.3fs virtual\n",
+			n, st.Nodes, lp.Name, st.Tasks, st.Elapsed.Seconds())
+		if exact && nodes > 1 {
+			seq, err := matmul.RunSequential(js, cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "jsrun: verify:", err)
+				os.Exit(1)
+			}
+			for i := range st.C {
+				d := float64(st.C[i] - seq.C[i])
+				if d > 1e-3 || d < -1e-3 {
+					fmt.Fprintf(os.Stderr, "jsrun: VERIFY FAILED at element %d\n", i)
+					os.Exit(1)
+				}
+			}
+			fmt.Println("result verified against the sequential reference")
+		}
+	})
+}
+
+func runSweep(lp jsymphony.LoadProfile, n, rows int, seed int64) {
+	fmt.Printf("node sweep, N=%d, profile=%s\n", n, lp.Name)
+	var base time.Duration
+	for nodes := 1; nodes <= 13; nodes++ {
+		env := jsymphony.NewSimEnv(jsymphony.PaperCluster(), lp, seed, jsymphony.EnvOptions{})
+		var el time.Duration
+		env.RunMain("", func(js *jsymphony.JS) {
+			cfg := matmul.Config{N: n, Nodes: nodes, RowsPerTask: rows, Model: true, Seed: seed}
+			var st matmul.Stats
+			var err error
+			if nodes == 1 {
+				st, err = matmul.RunSequential(js, cfg)
+			} else {
+				st, err = matmul.Run(js, cfg)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "jsrun:", err)
+				os.Exit(1)
+			}
+			el = st.Elapsed
+		})
+		if nodes == 1 {
+			base = el
+		}
+		fmt.Printf("  %2d nodes: %8.3fs  speedup %.2f\n", nodes, el.Seconds(),
+			base.Seconds()/el.Seconds())
+	}
+}

@@ -1,0 +1,118 @@
+// Command jsshell runs the JavaSymphony Administration Shell (JS-Shell,
+// paper §5) over a fresh JRS installation.
+//
+// By default the installation is a real-time in-process one with -nodes
+// nodes.  With -sim, it is the paper's simulated 13-workstation cluster:
+// virtual time advances by -tick per entered command (a simulation has
+// no wall clock), and failure injection (kill/revive) becomes available.
+//
+// Type "help" at the prompt for commands.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"jsymphony"
+	"jsymphony/internal/shell"
+)
+
+func main() {
+	sim := flag.Bool("sim", false, "run the simulated paper cluster instead of a real-time installation")
+	nodes := flag.Int("nodes", 4, "node count for the real-time installation")
+	profile := flag.String("profile", "night", "simulated load profile: day, night, idle")
+	tick := flag.Duration("tick", time.Second, "virtual time advanced per command (simulation)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	script := flag.String("c", "", "semicolon-separated commands to execute instead of a REPL")
+	flag.Parse()
+
+	input := os.Stdin
+	if *script != "" {
+		r, w, err := os.Pipe()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jsshell:", err)
+			os.Exit(1)
+		}
+		go func() {
+			defer w.Close()
+			for _, line := range strings.Split(*script, ";") {
+				fmt.Fprintln(w, strings.TrimSpace(line))
+			}
+		}()
+		input = r
+	}
+
+	if *sim {
+		runSim(input, *profile, *tick, *seed)
+		return
+	}
+	names := make([]string, *nodes)
+	for i := range names {
+		names[i] = fmt.Sprintf("node%02d", i)
+	}
+	env := jsymphony.NewLocalEnv(names, jsymphony.EnvOptions{})
+	env.Start()
+	defer env.Shutdown()
+	js, err := env.Attach("")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jsshell:", err)
+		os.Exit(1)
+	}
+	defer js.Unregister()
+	sh := shell.New(env.World())
+	fmt.Printf("JS-Shell on a real-time installation of %d nodes (help for commands)\n", *nodes)
+	repl(bufio.NewScanner(input), func(line string) (string, error) {
+		return sh.Exec(js.Proc(), line)
+	})
+}
+
+func runSim(input *os.File, profile string, tick time.Duration, seed int64) {
+	var lp jsymphony.LoadProfile
+	switch profile {
+	case "day":
+		lp = jsymphony.Day
+	case "night":
+		lp = jsymphony.Night
+	case "idle":
+		lp = jsymphony.IdleProfile
+	default:
+		fmt.Fprintf(os.Stderr, "jsshell: unknown profile %q\n", profile)
+		os.Exit(2)
+	}
+	env := jsymphony.NewSimEnv(jsymphony.PaperCluster(), lp, seed, jsymphony.EnvOptions{})
+	sh := shell.New(env.World())
+	scanner := bufio.NewScanner(input)
+	env.RunMain("", func(js *jsymphony.JS) {
+		fmt.Printf("JS-Shell on the simulated paper cluster (%s profile); "+
+			"each command advances virtual time by %v\n", profile, tick)
+		repl(scanner, func(line string) (string, error) {
+			js.Sleep(tick)
+			return sh.Exec(js.Proc(), line)
+		})
+	})
+}
+
+// repl reads lines and executes them until EOF or "quit".
+func repl(scanner *bufio.Scanner, exec func(string) (string, error)) {
+	for {
+		fmt.Print("js> ")
+		if !scanner.Scan() {
+			fmt.Println()
+			return
+		}
+		line := scanner.Text()
+		if line == "quit" || line == "exit" {
+			return
+		}
+		out, err := exec(line)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		fmt.Print(out)
+	}
+}

@@ -1,0 +1,136 @@
+package jsymphony
+
+import (
+	"time"
+
+	"jsymphony/internal/core"
+	"jsymphony/internal/sched"
+	"jsymphony/internal/simnet"
+)
+
+// Env is one running JRS installation — the deployment an application
+// registers with.  Sim environments run in virtual time on a simulated
+// cluster; Local and TCP environments run in real time.
+type Env struct {
+	w *core.World
+}
+
+// EnvOptions tune an environment; the zero value is fine.
+type EnvOptions struct {
+	// NAS configures monitoring/failure-detection periods.
+	NAS NASConfig
+	// Storage backs persistent objects (default: in-memory).
+	Storage Storage
+	// Cost overrides the simulated RMI CPU cost model.
+	Cost RMICost
+	// Default installs JS-Shell default constraints applied to all
+	// automatic placement and migration decisions.
+	Default *Constraints
+	// MemLatency is the in-memory transport's one-way latency
+	// (0 = a default 200µs; negative = genuinely instant delivery,
+	// bypassing timers).
+	MemLatency time.Duration
+}
+
+func (o EnvOptions) coreOptions() core.Options {
+	return core.Options{
+		NAS:        o.NAS,
+		Storage:    o.Storage,
+		Cost:       o.Cost,
+		Default:    o.Default,
+		MemLatency: o.MemLatency,
+	}
+}
+
+// NewSimEnv builds a virtual-time environment over the given simulated
+// machines under the given background-load profile.  The seed fixes the
+// load traces, making runs reproducible.
+func NewSimEnv(machines []MachineSpec, profile LoadProfile, seed int64, opt EnvOptions) *Env {
+	return &Env{w: core.NewSimWorld(machines, profile, seed, opt.coreOptions())}
+}
+
+// NewPaperEnv builds the paper's Section 6 testbed: the 13-workstation
+// heterogeneous cluster under the chosen day/night profile.
+func NewPaperEnv(profile LoadProfile, seed int64) *Env {
+	return NewSimEnv(simnet.PaperCluster(), profile, seed, EnvOptions{})
+}
+
+// NewLocalEnv builds a real-time environment whose nodes communicate
+// through an in-process transport.
+func NewLocalEnv(nodeNames []string, opt EnvOptions) *Env {
+	return &Env{w: core.NewLocalWorld(nodeNames, opt.coreOptions())}
+}
+
+// NewTCPEnv builds a real-time environment whose nodes communicate over
+// real TCP loopback sockets.
+func NewTCPEnv(nodeNames []string, opt EnvOptions) *Env {
+	return &Env{w: core.NewTCPWorld(nodeNames, opt.coreOptions())}
+}
+
+// World exposes the underlying world for advanced use (benchmarks, the
+// shell).
+func (e *Env) World() *core.World { return e.w }
+
+// Nodes lists the environment's node names.
+func (e *Env) Nodes() []string { return e.w.Nodes() }
+
+// SetAutoMigration enables (period > 0) or disables (0) automatic object
+// migration installation-wide — the JS-Shell toggle of §5.2.
+func (e *Env) SetAutoMigration(period time.Duration) { e.w.SetAutoMigration(period) }
+
+// SetDefaultConstraints installs JS-Shell default constraints.
+func (e *Env) SetDefaultConstraints(c *Constraints) { e.w.SetDefaultConstraints(c) }
+
+// Start launches the environment (stations and agents).  RunMain does
+// this automatically; real-time environments call it before Attach.
+func (e *Env) Start() { e.w.Start() }
+
+// RunMain drives a simulated environment: it starts the installation,
+// waits one monitoring round so agents report in, registers an
+// application on the given home node ("" = the first node), runs fn,
+// unregisters, and shuts the simulation down.  This is the virtual-time
+// analogue of a JavaSymphony main program (paper Fig. 6).
+func (e *Env) RunMain(home string, fn func(js *JS)) {
+	e.w.RunMain(func(p sched.Proc) {
+		p.Sleep(settleTime(e))
+		if home == "" {
+			home = e.w.Nodes()[0]
+		}
+		app, err := e.w.Register(home)
+		if err != nil {
+			panic(err)
+		}
+		js := &JS{env: e, app: app, p: p}
+		defer app.Unregister(p)
+		fn(js)
+	})
+}
+
+// settleTime gives agents one reporting round before allocation starts.
+func settleTime(e *Env) time.Duration {
+	cfg := e.w.NASConfig()
+	return cfg.MonitorPeriod + cfg.MonitorPeriod/2
+}
+
+// Attach registers an application on a real-time environment (after
+// Start).  The returned session is bound to the calling goroutine.
+func (e *Env) Attach(home string) (*JS, error) {
+	if home == "" {
+		home = e.w.Nodes()[0]
+	}
+	app, err := e.w.Register(home)
+	if err != nil {
+		return nil, err
+	}
+	return &JS{env: e, app: app, p: sched.RealProc(e.w.Sched())}, nil
+}
+
+// Shutdown stops a real-time environment.  Simulated environments shut
+// down inside RunMain.
+func (e *Env) Shutdown() {
+	var p sched.Proc
+	if e.w.Clock() == nil {
+		p = sched.RealProc(e.w.Sched())
+	}
+	e.w.Shutdown(p)
+}

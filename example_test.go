@@ -1,0 +1,131 @@
+package jsymphony_test
+
+import (
+	"fmt"
+	"time"
+
+	"jsymphony"
+)
+
+func init() {
+	jsymphony.RegisterClass("doc.Tally", 1024, func() any { return &Tally{} })
+}
+
+// Tally is the class used by the runnable documentation examples.
+type Tally struct{ N int }
+
+// Bump increments the tally.
+func (t *Tally) Bump() int { t.N++; return t.N }
+
+// Where reports the hosting node.
+func (t *Tally) Where(ctx *jsymphony.Ctx) string { return ctx.Node() }
+
+// Example demonstrates the minimal JavaSymphony program: register,
+// request an architecture, load the class, create, invoke.
+func Example() {
+	env := jsymphony.NewSimEnv(
+		jsymphony.UniformCluster(jsymphony.Ultra10_300, 3),
+		jsymphony.IdleProfile, 1, jsymphony.EnvOptions{})
+	env.RunMain("", func(js *jsymphony.JS) {
+		cluster, _ := js.NewCluster(2, nil)
+		cb := js.NewCodebase()
+		cb.Add("doc.Tally")
+		cb.Load(cluster)
+
+		n0, _ := cluster.Node(0)
+		obj, _ := js.NewObject("doc.Tally", n0, nil)
+		v, _ := obj.SInvoke("Bump")
+		fmt.Println("bumped to", v)
+	})
+	// Output: bumped to 1
+}
+
+// ExampleObject_Migrate shows explicit migration: the object's state
+// travels with it.
+func ExampleObject_Migrate() {
+	env := jsymphony.NewSimEnv(
+		jsymphony.UniformCluster(jsymphony.Ultra10_300, 3),
+		jsymphony.IdleProfile, 1, jsymphony.EnvOptions{})
+	env.RunMain("", func(js *jsymphony.JS) {
+		cb := js.NewCodebase()
+		cb.Add("doc.Tally")
+		cb.LoadNodes(env.Nodes()...)
+
+		src, _ := js.NewNamedNode("node01")
+		dst, _ := js.NewNamedNode("node02")
+		obj, _ := js.NewObject("doc.Tally", src, nil)
+		obj.SInvoke("Bump")
+		obj.Migrate(dst, nil)
+		host, _ := obj.SInvoke("Where")
+		v, _ := obj.SInvoke("Bump")
+		fmt.Printf("on %v with tally %v\n", host, v)
+	})
+	// Output: on node02 with tally 2
+}
+
+// ExampleObject_AInvoke shows the asynchronous invocation handle.
+func ExampleObject_AInvoke() {
+	env := jsymphony.NewSimEnv(
+		jsymphony.UniformCluster(jsymphony.Ultra10_300, 2),
+		jsymphony.IdleProfile, 1, jsymphony.EnvOptions{})
+	env.RunMain("", func(js *jsymphony.JS) {
+		cb := js.NewCodebase()
+		cb.Add("doc.Tally")
+		cb.LoadNodes(env.Nodes()...)
+		obj, _ := js.NewObject("doc.Tally", nil, nil)
+
+		handle, _ := obj.AInvoke("Bump") // returns immediately
+		v, _ := handle.Result()          // blocks until the result lands
+		fmt.Println("async result:", v)
+	})
+	// Output: async result: 1
+}
+
+// ExampleConstraints shows the paper's constraint set restricting an
+// architecture request.
+func ExampleConstraints() {
+	env := jsymphony.NewSimEnv(jsymphony.PaperCluster(), jsymphony.IdleProfile, 1, jsymphony.EnvOptions{})
+	env.RunMain("", func(js *jsymphony.JS) {
+		constr := jsymphony.NewConstraints().
+			MustSet(jsymphony.NodeName, "!=", "milena").
+			MustSet(jsymphony.Idle, ">=", 50)
+		node, _ := js.NewNode(constr)
+		fmt.Println("milena excluded:", node.Name() != "milena")
+	})
+	// Output: milena excluded: true
+}
+
+// ExampleObject_Store shows persistence: store, then load a copy.
+func ExampleObject_Store() {
+	env := jsymphony.NewSimEnv(
+		jsymphony.UniformCluster(jsymphony.Ultra10_300, 2),
+		jsymphony.IdleProfile, 1, jsymphony.EnvOptions{})
+	env.RunMain("", func(js *jsymphony.JS) {
+		cb := js.NewCodebase()
+		cb.Add("doc.Tally")
+		cb.LoadNodes(env.Nodes()...)
+		obj, _ := js.NewObject("doc.Tally", nil, nil)
+		obj.SInvoke("Bump")
+		obj.SInvoke("Bump")
+
+		key, _ := obj.Store("tally-backup")
+		copy1, _ := js.Load(key, nil, nil)
+		v, _ := copy1.SInvoke("Bump")
+		fmt.Println("restored and bumped:", v)
+	})
+	// Output: restored and bumped: 3
+}
+
+// ExampleEnv_SetAutoMigration shows the JS-Shell switch for automatic
+// migration.
+func ExampleEnv_SetAutoMigration() {
+	env := jsymphony.NewSimEnv(
+		jsymphony.UniformCluster(jsymphony.Ultra10_300, 2),
+		jsymphony.IdleProfile, 1, jsymphony.EnvOptions{})
+	env.RunMain("", func(js *jsymphony.JS) {
+		env.SetAutoMigration(500 * time.Millisecond)
+		fmt.Println("automatic migration enabled")
+		env.SetAutoMigration(0)
+	})
+	// Output: automatic migration enabled
+}

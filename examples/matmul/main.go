@@ -1,0 +1,62 @@
+// The paper's evaluation program (Section 6, Fig. 6): master/slave
+// matrix multiplication on the simulated 13-workstation cluster, run
+// under the night and day load profiles, plus a small exact run verified
+// against the sequential reference.
+//
+//	go run ./examples/matmul
+package main
+
+import (
+	"fmt"
+
+	"jsymphony"
+	"jsymphony/workloads/matmul"
+)
+
+func main() {
+	// Figure 6 as a user would run it: N=400 on 6 workstations.
+	for _, profile := range []jsymphony.LoadProfile{jsymphony.Night, jsymphony.Day} {
+		env := jsymphony.NewSimEnv(jsymphony.PaperCluster(), profile, 1, jsymphony.EnvOptions{})
+		env.RunMain("", func(js *jsymphony.JS) {
+			st, err := matmul.Run(js, matmul.Config{N: 400, Nodes: 6, Model: true, Seed: 1})
+			if err != nil {
+				panic(err)
+			}
+			fmt.Printf("%-6s N=400 on %d nodes: %7.3fs virtual (%d tasks)\n",
+				profile.Name, st.Nodes, st.Elapsed.Seconds(), st.Tasks)
+		})
+	}
+
+	// The sequential baseline the paper plots for one node.
+	env := jsymphony.NewSimEnv(jsymphony.PaperCluster(), jsymphony.Night, 1, jsymphony.EnvOptions{})
+	env.RunMain("", func(js *jsymphony.JS) {
+		st, err := matmul.RunSequential(js, matmul.Config{N: 400, Model: true, Seed: 1})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-6s N=400 sequential (no JavaSymphony): %7.3fs virtual\n",
+			"night", st.Elapsed.Seconds())
+	})
+
+	// A small exact run: the distributed product must match the
+	// sequential reference.
+	env = jsymphony.NewSimEnv(jsymphony.PaperCluster(), jsymphony.IdleProfile, 1, jsymphony.EnvOptions{})
+	env.RunMain("", func(js *jsymphony.JS) {
+		cfg := matmul.Config{N: 64, RowsPerTask: 8, Nodes: 4, Model: false, Seed: 42}
+		dist, err := matmul.Run(js, cfg)
+		if err != nil {
+			panic(err)
+		}
+		seq, err := matmul.RunSequential(js, cfg)
+		if err != nil {
+			panic(err)
+		}
+		for i := range dist.C {
+			d := dist.C[i] - seq.C[i]
+			if d > 1e-3 || d < -1e-3 {
+				panic(fmt.Sprintf("verification failed at element %d", i))
+			}
+		}
+		fmt.Println("exact 64x64 run verified against the sequential reference")
+	})
+}

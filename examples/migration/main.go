@@ -1,0 +1,128 @@
+// Migration: explicit, constraint-driven, and automatic object
+// migration (paper §4.6, §5.2), plus persistence (§4.7).
+//
+// A stateful object is moved around the simulated cluster explicitly,
+// then automatic migration is enabled and the object's node is
+// disqualified by a constraint: the runtime evacuates it to a
+// satisfying node inside the same architecture, preferring the same
+// cluster.
+//
+//	go run ./examples/migration
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"jsymphony"
+)
+
+// Cache is a stateful object whose contents must survive every move.
+type Cache struct {
+	Entries map[string]string
+}
+
+// Put stores a key/value pair.
+func (c *Cache) Put(k, v string) {
+	if c.Entries == nil {
+		c.Entries = make(map[string]string)
+	}
+	c.Entries[k] = v
+}
+
+// Get retrieves a value.
+func (c *Cache) Get(k string) string { return c.Entries[k] }
+
+// Len reports the cache size.
+func (c *Cache) Len() int { return len(c.Entries) }
+
+// Host reports where the cache currently lives.
+func (c *Cache) Host(ctx *jsymphony.Ctx) string { return ctx.Node() }
+
+func init() {
+	jsymphony.RegisterClass("migration.Cache", 3072, func() any { return &Cache{} })
+}
+
+func main() {
+	env := jsymphony.NewSimEnv(jsymphony.PaperCluster(), jsymphony.IdleProfile, 1, jsymphony.EnvOptions{})
+	env.RunMain("", func(js *jsymphony.JS) {
+		// An architecture constrained away from the slow segment.
+		constr := jsymphony.NewConstraints().MustSet(jsymphony.PeakBandwd, ">=", 100)
+		domain, err := js.NewDomain([][]int{{4}}, constr)
+		check(err)
+		js.ActivateVA(domain, constr, nil)
+
+		cb := js.NewCodebase()
+		check(cb.Add("migration.Cache"))
+		check(cb.LoadNodes(env.Nodes()...)) // everywhere: migration may go anywhere
+
+		n0, err := domain.Node(0, 0, 0)
+		check(err)
+		cache, err := js.NewObject("migration.Cache", n0, nil)
+		check(err)
+		for i := 0; i < 100; i++ {
+			_, err := cache.SInvoke("Put", fmt.Sprintf("key%d", i), fmt.Sprintf("value%d", i))
+			check(err)
+		}
+		host, _ := cache.SInvoke("Host")
+		fmt.Println("cache created on:", host)
+
+		// Explicit migration to a chosen node.
+		n1, err := domain.Node(0, 0, 1)
+		check(err)
+		check(cache.Migrate(n1, nil))
+		host, _ = cache.SInvoke("Host")
+		n, _ := cache.SInvoke("Len")
+		fmt.Printf("after explicit migrate: on %s with %v entries\n", host, n)
+
+		// Constraint-driven migration: let JRS pick any qualified node.
+		check(cache.Migrate(nil, constr))
+		host, _ = cache.SInvoke("Host")
+		fmt.Println("after constraint-driven migrate:", host)
+
+		// Persistence before the risky part.
+		key, err := cache.Store("cache-backup")
+		check(err)
+		fmt.Println("stored under key:", key)
+
+		// Automatic migration (the JS-Shell switch): disqualify the
+		// cache's current node by name and watch the runtime evacuate it.
+		cur, err := cache.NodeName()
+		check(err)
+		evict := jsymphony.NewConstraints().MustSet(jsymphony.NodeName, "!=", cur)
+		// Re-activate the architecture with the eviction constraint.
+		js.ActivateVA(domain, evict.And(constr), nil)
+		env.SetAutoMigration(250 * time.Millisecond)
+		deadline := js.Now() + 10*time.Second
+		for {
+			js.Sleep(250 * time.Millisecond)
+			now, err := cache.NodeName()
+			check(err)
+			if now != cur {
+				fmt.Printf("automatic migration evacuated the cache: %s -> %s\n", cur, now)
+				break
+			}
+			if js.Now() > deadline {
+				panic("automatic migration never happened")
+			}
+		}
+		env.SetAutoMigration(0)
+
+		// State integrity after all the moves.
+		v, err := cache.SInvoke("Get", "key42")
+		check(err)
+		fmt.Printf("key42 = %q after three migrations\n", v)
+
+		// And the persisted copy is unaffected.
+		restored, err := js.Load("cache-backup", nil, nil)
+		check(err)
+		n, _ = restored.SInvoke("Len")
+		fmt.Printf("restored backup has %v entries\n", n)
+	})
+}
+
+func check(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

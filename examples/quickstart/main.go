@@ -1,0 +1,110 @@
+// Quickstart: the whole JavaSymphony programming model in one small
+// program, on a simulated 4-workstation installation.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"jsymphony"
+)
+
+// Greeter is an ordinary Go struct registered as a JavaSymphony class.
+// Its exported methods are remotely invocable; a *jsymphony.Ctx first
+// parameter (optional) exposes the execution context.
+type Greeter struct {
+	Greetings int
+}
+
+// Greet says hello from wherever the object currently lives.
+func (g *Greeter) Greet(ctx *jsymphony.Ctx, who string) string {
+	g.Greetings++
+	return fmt.Sprintf("hello %s from %s (greeting #%d)", who, ctx.Node(), g.Greetings)
+}
+
+// Count returns how many greetings this object has produced.
+func (g *Greeter) Count() int { return g.Greetings }
+
+func init() {
+	jsymphony.RegisterClass("quickstart.Greeter", 2048, func() any { return &Greeter{} })
+}
+
+func main() {
+	// A simulated installation: four identical workstations, idle.
+	env := jsymphony.NewSimEnv(
+		jsymphony.UniformCluster(jsymphony.Ultra10_300, 4),
+		jsymphony.IdleProfile, 1, jsymphony.EnvOptions{})
+
+	// RunMain registers the application with JRS (JSRegistration),
+	// runs the body, and unregisters.
+	env.RunMain("", func(js *jsymphony.JS) {
+		// 1. Request a virtual architecture: a 3-node cluster whose
+		//    nodes must be reasonably idle (JSConstraints).
+		constr := jsymphony.NewConstraints().MustSet(jsymphony.Idle, ">=", 50)
+		cluster, err := js.NewCluster(3, constr)
+		check(err)
+		fmt.Println("cluster nodes:", cluster.NodeNames())
+
+		// 2. Ship the class onto the cluster (selective class loading).
+		cb := js.NewCodebase()
+		check(cb.Add("quickstart.Greeter"))
+		check(cb.Load(cluster))
+		cb.Free()
+
+		// 3. Create an object on a specific node.
+		n0, err := cluster.Node(0)
+		check(err)
+		obj, err := js.NewObject("quickstart.Greeter", n0, nil)
+		check(err)
+
+		// 4a. Synchronous invocation: blocks until the result arrives.
+		res, err := obj.SInvoke("Greet", "world")
+		check(err)
+		fmt.Println("sinvoke:", res)
+
+		// 4b. Asynchronous invocation: returns a handle immediately.
+		handle, err := obj.AInvoke("Greet", "async world")
+		check(err)
+		fmt.Println("ainvoke returned a handle; ready =", handle.IsReady())
+		res, err = handle.Result()
+		check(err)
+		fmt.Println("ainvoke result:", res)
+
+		// 4c. One-sided invocation: fire and forget.
+		check(obj.OInvoke("Greet", "one-sided world"))
+		js.Sleep(50 * time.Millisecond) // let it land
+
+		// 5. Migrate the object to another node; its state moves along.
+		n1, err := cluster.Node(1)
+		check(err)
+		check(obj.Migrate(n1, nil))
+		res, err = obj.SInvoke("Greet", "world after migration")
+		check(err)
+		fmt.Println("after migrate:", res)
+
+		// 6. Persist the object and load an independent copy.
+		key, err := obj.Store("quickstart-greeter")
+		check(err)
+		copy1, err := js.Load(key, nil, nil)
+		check(err)
+		count, err := copy1.SInvoke("Count")
+		check(err)
+		fmt.Printf("loaded copy had already greeted %v times\n", count)
+
+		// 7. Inspect system parameters of architecture components.
+		idle, err := js.SysParam(cluster, jsymphony.Idle)
+		check(err)
+		fmt.Printf("cluster average idle: %.1f%%\n", idle.Num)
+
+		check(obj.Free())
+		cluster.Free()
+	})
+}
+
+func check(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"jsymphony"
+	"jsymphony/internal/sched"
+)
+
+// schedProc shortens the scheduler proc type in closures.
+type schedProc = sched.Proc
+
+// E3 — the automatic-migration experiment the paper promises ("we plan
+// to add more experiments") but does not report: long-running worker
+// objects iterate on a small cluster; partway through, one workstation
+// is seized by a CPU hog (its owner came back).  With automatic
+// migration enabled, the JRS notices the architecture constraint
+// (idle >= 40%) no longer holds on that node and evacuates the worker;
+// with it disabled, the worker crawls behind the hog for the rest of
+// the run.
+
+func init() {
+	jsymphony.RegisterClass("e3.Worker", 2048, func() any { return &E3Worker{} })
+}
+
+// E3Worker is a long-running iterative computation.
+type E3Worker struct {
+	Rounds int
+}
+
+// Round performs one iteration of the given cost.
+func (w *E3Worker) Round(ctx *jsymphony.Ctx, flops float64) int {
+	ctx.Compute(flops)
+	w.Rounds++
+	return w.Rounds
+}
+
+// E3Result reports one condition of the experiment.
+type E3Result struct {
+	AutoMigration bool
+	Elapsed       time.Duration
+	Migrated      bool // did the victim worker end up elsewhere?
+}
+
+// E3Config parameterizes the experiment.
+type E3Config struct {
+	Workers    int           // worker objects (and cluster nodes)
+	Rounds     int           // iterations per worker
+	RoundFlops float64       // cost per iteration
+	HogAfter   time.Duration // when the owner seizes the node
+	Seed       int64
+}
+
+func (c E3Config) withDefaults() E3Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 30
+	}
+	if c.RoundFlops <= 0 {
+		c.RoundFlops = 5e6 // 200 ms on an idle Ultra 10/300
+	}
+	if c.HogAfter <= 0 {
+		c.HogAfter = 1 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// RunE3Condition runs one condition on a fresh uniform cluster.
+func RunE3Condition(auto bool, cfg E3Config) E3Result {
+	cfg = cfg.withDefaults()
+	env := jsymphony.NewSimEnv(
+		jsymphony.UniformCluster(jsymphony.Ultra10_300, cfg.Workers+1),
+		jsymphony.IdleProfile, cfg.Seed, jsymphony.EnvOptions{})
+	var res E3Result
+	res.AutoMigration = auto
+	env.RunMain("", func(js *jsymphony.JS) {
+		cb := js.NewCodebase()
+		check(cb.Add("e3.Worker"))
+		check(cb.LoadNodes(env.Nodes()...))
+
+		// One cluster node per worker (one spare machine stays free),
+		// managed under the paper's "only use idle workstations" policy:
+		// no interactive users on the node.
+		constr := jsymphony.NewConstraints().MustSet(jsymphony.ParamID("user.count"), "<=", 0)
+		domain, err := js.NewDomain([][]int{{cfg.Workers}}, nil)
+		check(err)
+		js.ActivateVA(domain, constr, nil)
+		if auto {
+			env.SetAutoMigration(300 * time.Millisecond)
+		}
+
+		workers := make([]*jsymphony.Object, cfg.Workers)
+		victims := make([]string, cfg.Workers)
+		for i := range workers {
+			node, err := domain.Node(0, 0, i)
+			check(err)
+			workers[i], err = js.NewObject("e3.Worker", node, nil)
+			check(err)
+			victims[i] = node.Name()
+		}
+		victim := victims[0]
+
+		// The owner returns to the victim machine after HogAfter,
+		// seizing 90% of its CPU until the end of the run.
+		m, _ := env.World().Fabric().ByName(victim)
+		env.World().Sched().Spawn("owner", func(p schedProc) {
+			p.Sleep(cfg.HogAfter)
+			m.SetExtraLoad(0.9)
+		})
+
+		// Drive all workers through their rounds concurrently.
+		start := js.Now()
+		done := make(chan error, cfg.Workers)
+		for i := range workers {
+			i := i
+			js.Spawn("driver", func(w *jsymphony.JS) {
+				obj := workers[i].With(w)
+				for r := 0; r < cfg.Rounds; r++ {
+					if _, err := obj.SInvoke("Round", cfg.RoundFlops); err != nil {
+						done <- err
+						return
+					}
+				}
+				done <- nil
+			})
+		}
+		for i := 0; i < cfg.Workers; i++ {
+			for len(done) == 0 {
+				js.Sleep(20 * time.Millisecond)
+			}
+			if err := <-done; err != nil {
+				panic(err)
+			}
+		}
+		res.Elapsed = js.Now() - start
+		loc, err := workers[0].NodeName()
+		check(err)
+		res.Migrated = loc != victim
+		env.SetAutoMigration(0)
+		m.SetExtraLoad(0)
+	})
+	return res
+}
+
+// E3 runs both conditions.
+func E3(cfg E3Config) (off, on E3Result) {
+	return RunE3Condition(false, cfg), RunE3Condition(true, cfg)
+}
+
+func check(err error) {
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"jsymphony"
+)
+
+// TestFigure5Shape runs a reduced sweep and checks the paper's
+// qualitative claims (EXPERIMENTS.md records the full sweep).
+func TestFigure5Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep in -short mode")
+	}
+	pts := Figure5(Figure5Config{Sizes: []int{200, 800}, MaxNodes: 13, Seed: 1})
+	lines, ok := ShapeReport(pts)
+	for _, l := range lines {
+		t.Log(l)
+	}
+	if !ok {
+		var b strings.Builder
+		WriteFigure5(&b, pts)
+		t.Fatalf("Figure 5 shape check failed:\n%s", b.String())
+	}
+}
+
+func TestFigure5PointSequentialBaseline(t *testing.T) {
+	// The 1-node point is the sequential baseline: it must be close to
+	// 2N³ / MFlops on the fastest (first-allocated) machine at night.
+	pt := RunFigure5Point(jsymphony.Night, 400, 1, 1)
+	ideal := 2.0 * 400 * 400 * 400 / (jsymphony.Ultra10_440.MFlops * 1e6)
+	got := pt.Elapsed.Seconds()
+	if got < ideal*0.95 || got > ideal*1.25 {
+		t.Fatalf("sequential N=400 = %.2fs, want ~%.2fs (night)", got, ideal)
+	}
+}
+
+func TestWriteFigure5Format(t *testing.T) {
+	pts := []Figure5Point{
+		{Profile: "night", N: 200, Nodes: 1, Elapsed: 2e9},
+		{Profile: "night", N: 200, Nodes: 2, Elapsed: 1e9},
+		{Profile: "day", N: 200, Nodes: 1, Elapsed: 4e9},
+		{Profile: "day", N: 200, Nodes: 2, Elapsed: 3e9},
+	}
+	var b strings.Builder
+	WriteFigure5(&b, pts)
+	out := b.String()
+	for _, want := range []string{"nodes", "night N=200", "day N=200", "2.00s", "3.00s"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Figure5Config{}.withDefaults()
+	if len(c.Sizes) != 4 || c.MaxNodes != 13 || c.Seed != 1 {
+		t.Fatalf("defaults = %+v", c)
+	}
+}

@@ -1,0 +1,3 @@
+module jsymphony
+
+go 1.22

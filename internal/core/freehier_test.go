@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"jsymphony/internal/params"
+	"jsymphony/internal/sched"
+	"jsymphony/internal/virtarch"
+)
+
+func TestFreeNodeLeavesHierarchy(t *testing.T) {
+	simWorld(t, func(w *World, a *App, p sched.Proc) {
+		d, err := virtarch.NewDomain(a.Allocator(p), [][]int{{4}}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := a.ActivateVA(d, nil, nil)
+		p.Sleep(500 * time.Millisecond)
+		members := h.Members(0, 0)
+		if len(members) != 4 {
+			t.Fatalf("members = %v", members)
+		}
+		// Freeing a node from the architecture must drop it from the
+		// manager hierarchy too (it stays alive in the installation).
+		site0, _ := d.Site(0)
+		cl0, _ := site0.Cluster(0)
+		victim, _ := cl0.Node(1)
+		name := victim.Name()
+		victim.Free()
+		p.Sleep(300 * time.Millisecond)
+		for _, m := range h.Members(0, 0) {
+			if m == name {
+				t.Fatalf("freed node %s still managed", name)
+			}
+		}
+		// And the manager keeps producing aggregates for the survivors.
+		p.Sleep(time.Second)
+		mgr, ok := h.ClusterManager(0, 0)
+		if !ok {
+			t.Fatal("no manager after free")
+		}
+		if _, ok := w.MustRuntime(mgr).Agent().Agg("cluster:0:0"); !ok {
+			t.Fatal("no aggregate after free")
+		}
+		h.Stop()
+	})
+}
+
+func TestAgentReportsRMIRate(t *testing.T) {
+	simWorld(t, func(w *World, a *App, p sched.Proc) {
+		target := w.Nodes()[2]
+		node, _ := virtarch.NewNamedNode(a.Allocator(p), target)
+		obj, err := a.NewObject(p, "Counter", node, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Generate sustained traffic across at least one monitor period.
+		deadline := w.Sched().Now() + 800*time.Millisecond
+		for w.Sched().Now() < deadline {
+			if _, err := obj.SInvoke(p, "Add", 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		snap := w.MustRuntime(target).Agent().Latest()
+		v, ok := snap.Get(params.RMIRate)
+		if !ok || v.Num <= 0 {
+			t.Fatalf("jrs.rmi.rate = %v (ok=%v), want > 0 under traffic", v, ok)
+		}
+	})
+}

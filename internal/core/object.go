@@ -1,0 +1,455 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"sync"
+
+	"jsymphony/internal/nas"
+	"jsymphony/internal/params"
+	"jsymphony/internal/rmi"
+	"jsymphony/internal/sched"
+	"jsymphony/internal/trace"
+	"jsymphony/internal/virtarch"
+)
+
+// Object is an application-side handle to a JavaSymphony object — the
+// paper's JSObj (§4.4).  All methods must be called with a proc of the
+// application's world.
+type Object struct {
+	app *App
+	id  uint64
+}
+
+// ErrFreedObject is returned for operations on freed objects.
+var ErrFreedObject = errors.New("core: object has been freed")
+
+// NewObject creates an object of the given class (§4.4):
+//
+//   - comp == nil: JRS picks the node (lowest load, best resources),
+//     optionally restricted by constr and the JS-Shell defaults.
+//   - comp == *virtarch.Node: the object goes exactly there.
+//   - comp == cluster/site/domain: JRS picks the best node within the
+//     component, optionally restricted by constr.
+//
+// Co-location ("generate obj1 on the same node where obj2 has been
+// generated") is expressed by passing obj2.Node(p).
+func (a *App) NewObject(p sched.Proc, class string, comp virtarch.Component, constr *params.Constraints) (*Object, error) {
+	if _, ok := a.world.registry.Lookup(class); !ok {
+		return nil, fmt.Errorf("core: unknown class %q", class)
+	}
+	candidates, err := a.placementCandidates(p, comp, constr)
+	if err != nil {
+		return nil, err
+	}
+
+	a.mu.Lock()
+	if a.done {
+		a.mu.Unlock()
+		return nil, errors.New("core: application is unregistered")
+	}
+	a.seq++
+	id := a.seq
+	a.mu.Unlock()
+
+	ref := Ref{App: a.id, ID: id, Class: class, Origin: a.rt.Node()}
+	var lastErr error
+	for _, node := range candidates {
+		body := rmi.MustMarshal(createReq{Ref: ref})
+		_, err := a.rt.st.Call(p, node, PubService, "create", body, 10*time.Second)
+		if err == nil {
+			a.mu.Lock()
+			a.objs[id] = &objEntry{ref: ref, location: node, comp: comp, constr: constr}
+			a.mu.Unlock()
+			return &Object{app: a, id: id}, nil
+		}
+		lastErr = err
+		// A node without the class loaded is skipped — the next
+		// candidate may have it (selective class loading, §4.3).
+	}
+	return nil, fmt.Errorf("core: could not create %q on any candidate node: %w", class, lastErr)
+}
+
+// placementCandidates resolves a placement spec to an ordered node list.
+func (a *App) placementCandidates(p sched.Proc, comp virtarch.Component, constr *params.Constraints) ([]string, error) {
+	if n, ok := comp.(*virtarch.Node); ok {
+		names := n.NodeNames()
+		if len(names) == 0 {
+			return nil, errors.New("core: placement node has been freed")
+		}
+		return names, nil
+	}
+	eff := constr
+	if eff == nil {
+		eff = a.world.DefaultConstraints()
+	}
+	opts := nas.SelectOpts{N: 1, Constr: eff, Spread: false, Reserve: false}
+	if comp != nil {
+		among := comp.NodeNames()
+		if len(among) == 0 {
+			return nil, errors.New("core: placement component has no nodes")
+		}
+		opts.Among = among
+		opts.N = min(3, len(among))
+	} else {
+		opts.N = 3
+	}
+	nodes, err := nas.SelectNodes(p, a.rt.st, a.world.dirNode, opts)
+	if err == nil {
+		return nodes, nil
+	}
+	// Fewer candidates than asked for: retry for a single best node.
+	opts.N = 1
+	return nas.SelectNodes(p, a.rt.st, a.world.dirNode, opts)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// entry returns the table row for an object handle.
+func (a *App) entry(id uint64) (*objEntry, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	e, ok := a.objs[id]
+	if !ok {
+		return nil, errors.New(errObjUnknown)
+	}
+	if e.freed {
+		return nil, ErrFreedObject
+	}
+	return e, nil
+}
+
+// Ref returns the object's first-order handle for passing to other
+// objects and applications.
+func (o *Object) Ref() (Ref, error) {
+	e, err := o.app.entry(o.id)
+	if err != nil {
+		return Ref{}, err
+	}
+	return e.ref, nil
+}
+
+// Class returns the object's class name.
+func (o *Object) Class() string {
+	e, err := o.app.entry(o.id)
+	if err != nil {
+		return ""
+	}
+	return e.ref.Class
+}
+
+// NodeName returns the node currently hosting the object.
+func (o *Object) NodeName() (string, error) {
+	e, err := o.app.entry(o.id)
+	if err != nil {
+		return "", err
+	}
+	return e.location, nil
+}
+
+// Node returns the hosting node as an architecture component, for
+// co-location ("new JSObj(class, obj2.getNode())") and for getSysParam.
+func (o *Object) Node(p sched.Proc) (*virtarch.Node, error) {
+	name, err := o.NodeName()
+	if err != nil {
+		return nil, err
+	}
+	return virtarch.NewNamedNode(o.app.Allocator(p), name)
+}
+
+// SInvoke is the synchronous (blocking) method invocation of §4.5.
+func (o *Object) SInvoke(p sched.Proc, method string, args ...any) (any, error) {
+	return o.app.invokeObject(p, o.id, method, args)
+}
+
+// AInvoke is the asynchronous invocation of §4.5: it returns immediately
+// with a handle on which the result can be tested and awaited.
+func (o *Object) AInvoke(p sched.Proc, method string, args ...any) (*Handle, error) {
+	if _, err := o.app.entry(o.id); err != nil {
+		return nil, err
+	}
+	h := newHandle(o.app.world.s)
+	// "One thread for every asynchronous method invocation in order to
+	// overcome blocking Java/RMI" (§5.2).
+	o.app.world.s.Spawn(fmt.Sprintf("ainvoke:%s/%d.%s", o.app.id, o.id, method), func(wp sched.Proc) {
+		res, err := o.app.invokeObject(wp, o.id, method, args)
+		h.deliver(res, err)
+	})
+	return h, nil
+}
+
+// OInvoke is the one-sided invocation of §4.5: no result, no completion
+// wait, no result bookkeeping — and therefore no delivery guarantee: a
+// one-sided call racing a migration of the target may be dropped, just
+// as the paper's oinvoke gives the caller nothing to detect it with.
+func (o *Object) OInvoke(p sched.Proc, method string, args ...any) error {
+	e, err := o.app.entry(o.id)
+	if err != nil {
+		return err
+	}
+	req := invokeReq{App: e.ref.App, ID: e.ref.ID, Method: method, Args: args}
+	body, err := rmi.Marshal(req)
+	if err != nil {
+		return err
+	}
+	return o.app.rt.st.Post(p, e.location, PubService, "invoke", body)
+}
+
+// invokeObject performs a synchronous invocation with migration-aware
+// retry: while the object is migrating (busy) or has just moved, the
+// caller blocks-and-retries — matching the paper's blocking RMI, which
+// simply waits out a migration — re-reading the location from this very
+// table (our own migrations update it).  The total wait is bounded by
+// invokeTimeout, like any other invocation.
+func (a *App) invokeObject(p sched.Proc, id uint64, method string, args []any) (any, error) {
+	var lastErr error
+	deadline := p.Sched().Now() + invokeTimeout
+	backoff := 2 * time.Millisecond
+	for p.Sched().Now() < deadline {
+		e, err := a.entry(id)
+		if err != nil {
+			return nil, err
+		}
+		res, err := a.rt.invokeAt(p, e.location, e.ref, method, args)
+		if err == nil {
+			return res, nil
+		}
+		lastErr = err
+		if !rmi.IsRemote(err, errObjBusy) && !rmi.IsRemote(err, errObjMoved) {
+			return nil, err
+		}
+		p.Sleep(backoff)
+		if backoff < 50*time.Millisecond {
+			backoff *= 2
+		}
+	}
+	return nil, fmt.Errorf("core: invocation of %q never caught up with migration: %w", method, lastErr)
+}
+
+// Free releases the object (§4.4: "an object if no longer needed should
+// be released by the programmer").  Freeing twice is a no-op.
+func (o *Object) Free(p sched.Proc) error {
+	e, err := o.app.entry(o.id)
+	if errors.Is(err, ErrFreedObject) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	return o.app.freeEntry(p, e)
+}
+
+func (a *App) freeEntry(p sched.Proc, e *objEntry) error {
+	a.mu.Lock()
+	if e.freed {
+		a.mu.Unlock()
+		return nil
+	}
+	e.freed = true
+	a.mu.Unlock()
+	body := rmi.MustMarshal(freeReq{App: e.ref.App, ID: e.ref.ID})
+	_, err := a.rt.st.Call(p, e.location, PubService, "free", body, 10*time.Second)
+	return err
+}
+
+// Handle is the future returned by AInvoke (§4.5).
+type Handle struct {
+	q  sched.Queue
+	mu sync.Mutex
+
+	got bool
+	res any
+	err error
+}
+
+type handleMsg struct {
+	res any
+	err error
+}
+
+func newHandle(s sched.Sched) *Handle {
+	return &Handle{q: s.NewQueue("result-handle")}
+}
+
+// NewHandle returns an unresolved handle for layers that build their own
+// asynchronous invocations (the public RemoteRef API).
+func NewHandle(s sched.Sched) *Handle { return newHandle(s) }
+
+func (h *Handle) deliver(res any, err error) {
+	h.q.Put(handleMsg{res: res, err: err}, 0)
+}
+
+// Deliver resolves the handle with a result or error; exactly one
+// Deliver per handle.
+func (h *Handle) Deliver(res any, err error) { h.deliver(res, err) }
+
+// IsReady reports whether the result has arrived (handle.isReady).
+func (h *Handle) IsReady() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.got || h.q.Len() > 0
+}
+
+// Result blocks until the result is available and returns it
+// (handle.getResult).  It may be called repeatedly and from multiple
+// procs; every caller observes the same outcome.
+func (h *Handle) Result(p sched.Proc) (any, error) {
+	h.mu.Lock()
+	if h.got {
+		defer h.mu.Unlock()
+		return h.res, h.err
+	}
+	h.mu.Unlock()
+	v, ok := p.Recv(h.q)
+	h.mu.Lock()
+	if !h.got {
+		if !ok {
+			h.mu.Unlock()
+			return nil, errors.New("core: result handle closed")
+		}
+		m := v.(handleMsg)
+		h.got, h.res, h.err = true, m.res, m.err
+	}
+	res, err := h.res, h.err
+	h.mu.Unlock()
+	// Cascade-wake any other proc blocked in Recv on the same handle.
+	h.q.Put(handleMsg{res: res, err: err}, 0)
+	return res, err
+}
+
+// ---------------------------------------------------------------------
+// Migration (§4.6) and persistence (§4.7).
+
+// Migrate moves the object according to the paper's migrate variants:
+//
+//   - comp == nil, constr == nil: JRS picks a node (lowest load).
+//   - comp == nil, constr != nil: JRS picks a node honoring constr.
+//   - comp == *virtarch.Node: move exactly there.
+//   - comp == cluster/site/domain: JRS picks within, honoring constr.
+func (o *Object) Migrate(p sched.Proc, comp virtarch.Component, constr *params.Constraints) error {
+	e, err := o.app.entry(o.id)
+	if err != nil {
+		return err
+	}
+	a := o.app
+	var dest string
+	if n, ok := comp.(*virtarch.Node); ok {
+		names := n.NodeNames()
+		if len(names) == 0 {
+			return errors.New("core: migration target node freed")
+		}
+		dest = names[0]
+	} else {
+		eff := constr
+		if eff == nil {
+			eff = a.world.DefaultConstraints()
+		}
+		opts := nas.SelectOpts{N: 1, Constr: eff, Exclude: []string{e.location}, Reserve: false}
+		if comp != nil {
+			opts.Among = comp.NodeNames()
+		}
+		nodes, err := nas.SelectNodes(p, a.rt.st, a.world.dirNode, opts)
+		if err != nil {
+			return fmt.Errorf("core: no migration target: %w", err)
+		}
+		dest = nodes[0]
+	}
+	return a.migrateEntry(p, e, dest)
+}
+
+// migrateEntry runs the migration protocol of Fig. 3 for one object.
+func (a *App) migrateEntry(p sched.Proc, e *objEntry, dest string) error {
+	a.mu.Lock()
+	src := e.location
+	ref := e.ref
+	a.mu.Unlock()
+	if dest == src {
+		return nil
+	}
+	// Step 1: ask pa1 to move the object to pa2; pa1 waits for
+	// quiescence, transfers, and returns after pa2 confirms (steps 2-3).
+	// The quiescence wait inside migrateOut is bounded by the longest
+	// in-flight method, so the timeout mirrors invokeTimeout.
+	body := rmi.MustMarshal(migrateOutReq{App: ref.App, ID: ref.ID, Dest: dest})
+	if _, err := a.rt.st.Call(p, src, PubService, "migrateOut", body, invokeTimeout); err != nil {
+		return err
+	}
+	// Step 4: the origin AppOA updates its table; stale invocations now
+	// resolve through it.
+	a.mu.Lock()
+	e.location = dest
+	a.mu.Unlock()
+	a.world.emit(trace.Event{Kind: trace.ObjMigrated, Node: dest, App: ref.App, Obj: ref.ID, Detail: src + " -> " + dest})
+	return nil
+}
+
+// Store saves the object to external storage under key ("" lets JRS
+// generate one) and returns the key (§4.7).
+func (o *Object) Store(p sched.Proc, key string) (string, error) {
+	e, err := o.app.entry(o.id)
+	if err != nil {
+		return "", err
+	}
+	body := rmi.MustMarshal(storeReq{App: e.ref.App, ID: e.ref.ID, Key: key})
+	resp, err := o.app.rt.st.Call(p, e.location, PubService, "store", body, time.Minute)
+	if err != nil {
+		return "", err
+	}
+	var k string
+	if err := rmi.Unmarshal(resp, &k); err != nil {
+		return "", err
+	}
+	return k, nil
+}
+
+// Load re-materializes a stored object as a fresh JSObj of this
+// application (§4.7: "JSObj obj = (JSObj)JS.load(string)").  Placement
+// follows the same rules as NewObject.
+func (a *App) Load(p sched.Proc, key string, comp virtarch.Component, constr *params.Constraints) (*Object, error) {
+	rec, err := a.world.storage.Get(key)
+	if err != nil {
+		return nil, err
+	}
+	candidates, err := a.placementCandidates(p, comp, constr)
+	if err != nil {
+		return nil, err
+	}
+	a.mu.Lock()
+	a.seq++
+	id := a.seq
+	a.mu.Unlock()
+	ref := Ref{App: a.id, ID: id, Class: rec.Class, Origin: a.rt.Node()}
+	var lastErr error
+	for _, node := range candidates {
+		body := rmi.MustMarshal(loadReq{Ref: ref, Key: key})
+		if _, err := a.rt.st.Call(p, node, PubService, "load", body, 10*time.Second); err != nil {
+			lastErr = err
+			continue
+		}
+		a.mu.Lock()
+		a.objs[id] = &objEntry{ref: ref, location: node, comp: comp, constr: constr}
+		a.mu.Unlock()
+		return &Object{app: a, id: id}, nil
+	}
+	return nil, fmt.Errorf("core: could not load %q anywhere: %w", key, lastErr)
+}
+
+// Objects returns handles of all live objects of the application.
+func (a *App) Objects() []*Object {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]*Object, 0, len(a.objs))
+	for id, e := range a.objs {
+		if !e.freed {
+			out = append(out, &Object{app: a, id: id})
+		}
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"jsymphony/internal/sched"
+	"jsymphony/internal/virtarch"
+)
+
+// TestMigrationSequenceProperty drives an object through a pseudo-random
+// sequence of migrations, invocations, stores, and loads, checking after
+// every step that (a) exactly one runtime hosts the object, (b) the
+// AppOA table points at it, and (c) the observed counter value equals
+// the model.
+func TestMigrationSequenceProperty(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4} {
+		seed := seed
+		simWorld(t, func(w *World, a *App, p sched.Proc) {
+			rng := rand.New(rand.NewSource(seed))
+			nodes := w.Nodes()[:5]
+			nodeOf := func(name string) *virtarch.Node {
+				n, err := virtarch.NewNamedNode(a.Allocator(p), name)
+				if err != nil {
+					t.Fatalf("node %s: %v", name, err)
+				}
+				return n
+			}
+			obj, err := a.NewObject(p, "Counter", nodeOf(nodes[0]), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			model := 0
+			checkInvariants := func(step int) {
+				loc, err := obj.NodeName()
+				if err != nil {
+					t.Fatalf("step %d: NodeName: %v", step, err)
+				}
+				hosts := 0
+				for _, n := range nodes {
+					rt := w.MustRuntime(n)
+					ref, _ := obj.Ref()
+					if _, ok := rt.Instance(ref); ok {
+						hosts++
+						if n != loc {
+							t.Fatalf("step %d: hosted on %s but table says %s", step, n, loc)
+						}
+					}
+				}
+				if hosts != 1 {
+					t.Fatalf("step %d: object hosted on %d nodes", step, hosts)
+				}
+				got, err := obj.SInvoke(p, "Get")
+				if err != nil {
+					t.Fatalf("step %d: Get: %v", step, err)
+				}
+				if got.(int) != model {
+					t.Fatalf("step %d: value %v, model %d", step, got, model)
+				}
+			}
+
+			for step := 0; step < 25; step++ {
+				switch rng.Intn(4) {
+				case 0: // migrate to a random node
+					dst := nodes[rng.Intn(len(nodes))]
+					if err := obj.Migrate(p, nodeOf(dst), nil); err != nil {
+						t.Fatalf("step %d: migrate: %v", step, err)
+					}
+				case 1: // invoke
+					add := rng.Intn(10)
+					got, err := obj.SInvoke(p, "Add", add)
+					if err != nil {
+						t.Fatalf("step %d: add: %v", step, err)
+					}
+					model += add
+					if got.(int) != model {
+						t.Fatalf("step %d: add result %v, model %d", step, got, model)
+					}
+				case 2: // concurrent slow method racing a migration
+					h, err := obj.AInvoke(p, "SlowAdd", 10, 1)
+					if err != nil {
+						t.Fatalf("step %d: ainvoke: %v", step, err)
+					}
+					dst := nodes[rng.Intn(len(nodes))]
+					if err := obj.Migrate(p, nodeOf(dst), nil); err != nil {
+						t.Fatalf("step %d: racing migrate: %v", step, err)
+					}
+					if _, err := h.Result(p); err != nil {
+						t.Fatalf("step %d: racing result: %v", step, err)
+					}
+					model++
+				case 3: // store and reload into a second object, check copy
+					key, err := obj.Store(p, "")
+					if err != nil {
+						t.Fatalf("step %d: store: %v", step, err)
+					}
+					cp, err := a.Load(p, key, nil, nil)
+					if err != nil {
+						t.Fatalf("step %d: load: %v", step, err)
+					}
+					got, err := cp.SInvoke(p, "Get")
+					if err != nil || got.(int) != model {
+						t.Fatalf("step %d: copy value %v, model %d (%v)", step, got, model, err)
+					}
+					if err := cp.Free(p); err != nil {
+						t.Fatalf("step %d: free copy: %v", step, err)
+					}
+				}
+				checkInvariants(step)
+			}
+		})
+	}
+}
+
+// TestHandleResultRepeatable hammers a single handle from several procs.
+func TestHandleResultRepeatable(t *testing.T) {
+	simWorld(t, func(w *World, a *App, p sched.Proc) {
+		obj, err := a.NewObject(p, "Counter", nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := obj.AInvoke(p, "SlowAdd", 30, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results := w.s.NewQueue("res")
+		for i := 0; i < 4; i++ {
+			w.s.Spawn("waiter", func(wp sched.Proc) {
+				v, err := h.Result(wp)
+				if err != nil {
+					results.Put(err, 0)
+					return
+				}
+				results.Put(v, 0)
+			})
+		}
+		for i := 0; i < 4; i++ {
+			v, ok := p.RecvTimeout(results, 10*time.Second)
+			if !ok {
+				t.Fatal("waiter starved")
+			}
+			if n, isInt := v.(int); !isInt || n != 5 {
+				t.Fatalf("waiter got %v", v)
+			}
+		}
+	})
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"jsymphony/internal/nas"
+	"jsymphony/internal/params"
+	"jsymphony/internal/rmi"
+	"jsymphony/internal/sched"
+	"jsymphony/internal/trace"
+	"jsymphony/internal/virtarch"
+)
+
+// Failure recovery implements the paper's announced OAS extension (§5.1:
+// "future work will address the issue of allowing the object agent
+// system to at least partially recover from certain system failures",
+// reiterated in §7).  The mechanism is checkpoint-based, in the spirit
+// of the Ajents system the paper credits for its checkpointing ideas:
+//
+//   - While enabled, the application's engine periodically persists
+//     every live object to external storage under a per-object key.
+//   - When the NAS reports a node failure (EventNodeFailed from an
+//     activated architecture), every object that lived on the dead node
+//     is re-materialized from its latest checkpoint on a satisfying
+//     node, under the *same* handle — outstanding refs keep working,
+//     losing only the updates since the last checkpoint.
+
+// ckptKey is the storage key of an object's checkpoint.
+func ckptKey(ref Ref) string { return fmt.Sprintf("ckpt:%s:%d", ref.App, ref.ID) }
+
+// EnableRecovery starts periodic checkpointing of all the application's
+// objects and arms failure recovery; period <= 0 disables both.
+// Architectures must be activated (ActivateVA) for failures to be
+// observed.
+func (a *App) EnableRecovery(period time.Duration) {
+	a.mu.Lock()
+	if a.done {
+		a.mu.Unlock()
+		return
+	}
+	a.ckptGen++
+	gen := a.ckptGen
+	a.ckptPeriod = period
+	a.mu.Unlock()
+	if period <= 0 {
+		return
+	}
+	a.world.s.Spawn("oas.checkpoint:"+a.id, func(p sched.Proc) {
+		for {
+			p.Sleep(period)
+			a.mu.Lock()
+			stale := a.done || a.ckptGen != gen
+			a.mu.Unlock()
+			if stale {
+				return
+			}
+			a.checkpointAll(p)
+		}
+	})
+}
+
+// RecoveryEnabled reports whether checkpoint-based recovery is armed.
+func (a *App) RecoveryEnabled() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.ckptPeriod > 0
+}
+
+// checkpointAll persists every live object once.
+func (a *App) checkpointAll(p sched.Proc) {
+	a.mu.Lock()
+	entries := make([]*objEntry, 0, len(a.objs))
+	for _, e := range a.objs {
+		if !e.freed {
+			entries = append(entries, e)
+		}
+	}
+	a.mu.Unlock()
+	for _, e := range entries {
+		a.mu.Lock()
+		loc, ref, freed := e.location, e.ref, e.freed
+		a.mu.Unlock()
+		if freed {
+			continue
+		}
+		body := rmi.MustMarshal(storeReq{App: ref.App, ID: ref.ID, Key: ckptKey(ref)})
+		// Best effort: a node that just died fails the call; recovery
+		// will then use the previous checkpoint.
+		_, _ = a.rt.st.Call(p, loc, PubService, "store", body, 30*time.Second)
+	}
+}
+
+// RecoverFrom re-materializes every object of this application that was
+// hosted on the failed node.  It returns the handles that were
+// recovered and those that could not be (no checkpoint).
+func (a *App) RecoverFrom(p sched.Proc, deadNode string) (recovered, lost []Ref) {
+	a.mu.Lock()
+	var victims []*objEntry
+	for _, e := range a.objs {
+		if !e.freed && e.location == deadNode {
+			victims = append(victims, e)
+		}
+	}
+	a.mu.Unlock()
+
+	for _, e := range victims {
+		if a.recoverEntry(p, e, deadNode) {
+			recovered = append(recovered, e.ref)
+		} else {
+			lost = append(lost, e.ref)
+		}
+	}
+	return recovered, lost
+}
+
+// recoverEntry restores one object from its checkpoint.
+func (a *App) recoverEntry(p sched.Proc, e *objEntry, deadNode string) bool {
+	key := ckptKey(e.ref)
+	if _, err := a.world.storage.Get(key); err != nil {
+		return false // never checkpointed
+	}
+	// Preferred candidates honor the original placement; if that leaves
+	// nothing live (the object was pinned to the dead node, or its
+	// component died with it), any satisfying node will do — partial
+	// recovery beats none.
+	candidates := a.liveCandidates(p, e.comp, e.constr, deadNode)
+	if len(candidates) == 0 {
+		candidates = a.liveCandidates(p, nil, e.constr, deadNode)
+	}
+	for _, node := range candidates {
+		body := rmi.MustMarshal(loadReq{Ref: e.ref, Key: key})
+		if _, err := a.rt.st.Call(p, node, PubService, "load", body, 30*time.Second); err != nil {
+			continue
+		}
+		a.mu.Lock()
+		e.location = node
+		a.mu.Unlock()
+		a.world.emit(trace.Event{Kind: trace.ObjRecovered, Node: node, App: e.ref.App, Obj: e.ref.ID, Detail: "from " + deadNode})
+		return true
+	}
+	return false
+}
+
+// liveCandidates returns placement candidates minus the dead node.
+func (a *App) liveCandidates(p sched.Proc, comp virtarch.Component, constr *params.Constraints, deadNode string) []string {
+	cands, err := a.placementCandidates(p, comp, constr)
+	if err != nil {
+		return nil
+	}
+	out := cands[:0]
+	for _, n := range cands {
+		if n != deadNode {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// armRecovery wraps an architecture notify callback so node failures
+// trigger recovery when it is enabled.
+func (a *App) armRecovery(notify func(nas.Event)) func(nas.Event) {
+	return func(e nas.Event) {
+		if e.Kind == nas.EventNodeFailed && a.RecoveryEnabled() {
+			node := e.Node
+			a.world.s.Spawn("oas.recover:"+a.id, func(p sched.Proc) {
+				a.RecoverFrom(p, node)
+			})
+		}
+		if notify != nil {
+			notify(e)
+		}
+	}
+}

@@ -1,0 +1,543 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"time"
+
+	"sync"
+
+	"jsymphony/internal/codebase"
+	"jsymphony/internal/nas"
+	"jsymphony/internal/rmi"
+	"jsymphony/internal/sched"
+	"jsymphony/internal/simnet"
+	"jsymphony/internal/trace"
+)
+
+// Runtime is the per-node JRS installation: the RMI station, the node's
+// class store, its network agent, and the public object agent (PubOA)
+// hosting every object instance generated on this node.
+type Runtime struct {
+	world *World
+	st    *rmi.Station
+	agent *nas.Agent
+	store *codebase.Store
+	mach  *simnet.Machine // nil outside the simulation
+
+	mu       sync.Mutex
+	hosted   map[objKey]*hostedObj
+	locCache map[objKey]string // last known location of foreign objects
+}
+
+type objKey struct {
+	app string
+	id  uint64
+}
+
+// hostedObj is one remote-objects-table entry (paper §5.2): the instance,
+// where it came from, and the in-flight method bookkeeping that delays
+// migration and persistence.
+type hostedObj struct {
+	ref       Ref
+	instance  any
+	executing int
+	migrating bool // state is being serialized / shipped
+	wanted    bool // a migration or store is waiting for quiescence
+}
+
+// Ctx gives application methods access to their execution context.  A
+// method whose first parameter is *core.Ctx receives it automatically on
+// invocation; the remaining parameters come from the caller's argument
+// array.
+type Ctx struct {
+	P  sched.Proc
+	RT *Runtime
+}
+
+// Node returns the node the method is executing on ("" when the object
+// is used outside JRS, e.g. as a plain local value).
+func (c *Ctx) Node() string {
+	if c.RT == nil {
+		return ""
+	}
+	return c.RT.Node()
+}
+
+// Compute charges the enclosing node's CPU with the given number of
+// floating-point operations.  In the simulation this advances virtual
+// time under the machine's load; in real deployments the method's own Go
+// code is the computation and Compute is a no-op, as it is when the
+// object is used outside JRS.
+func (c *Ctx) Compute(flops float64) {
+	if c.RT == nil {
+		return
+	}
+	c.RT.Compute(c.P, flops)
+}
+
+// Invoke performs a synchronous invocation on another object through its
+// first-order handle (an object calling an object, §5.2).
+func (c *Ctx) Invoke(ref Ref, method string, args []any) (any, error) {
+	return c.RT.InvokeRef(c.P, ref, method, args)
+}
+
+// newRuntime wires a node runtime; the station must not be started yet.
+func newRuntime(w *World, st *rmi.Station, agent *nas.Agent, mach *simnet.Machine) *Runtime {
+	rt := &Runtime{
+		world:    w,
+		st:       st,
+		agent:    agent,
+		store:    codebase.NewStore(w.registry),
+		mach:     mach,
+		hosted:   make(map[objKey]*hostedObj),
+		locCache: make(map[objKey]string),
+	}
+	st.Register(PubService, rt.handlePub)
+	return rt
+}
+
+// Node returns the runtime's node name.
+func (rt *Runtime) Node() string { return rt.st.Node() }
+
+// Station returns the node's RMI station.
+func (rt *Runtime) Station() *rmi.Station { return rt.st }
+
+// Agent returns the node's network agent.
+func (rt *Runtime) Agent() *nas.Agent { return rt.agent }
+
+// Store returns the node's class store.
+func (rt *Runtime) Store() *codebase.Store { return rt.store }
+
+// World returns the owning world.
+func (rt *Runtime) World() *World { return rt.world }
+
+// Compute charges this node's CPU with flops (simulation only).
+func (rt *Runtime) Compute(p sched.Proc, flops float64) {
+	if rt.mach == nil {
+		return
+	}
+	if a := sched.Actor(p); a != nil {
+		rt.mach.Compute(a, flops)
+	}
+}
+
+// Objects returns the number of hosted objects.
+func (rt *Runtime) Objects() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return len(rt.hosted)
+}
+
+// Instance returns the live instance of a hosted object, for tests and
+// the shell's inspection commands.
+func (rt *Runtime) Instance(ref Ref) (any, bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	h, ok := rt.hosted[objKey{ref.App, ref.ID}]
+	if !ok {
+		return nil, false
+	}
+	return h.instance, true
+}
+
+// updateObjectGauge feeds the jrs.objects parameter to the node's agent.
+func (rt *Runtime) updateObjectGauge() {
+	rt.mu.Lock()
+	n := len(rt.hosted)
+	rt.mu.Unlock()
+	rt.agent.SetObjects(n)
+}
+
+// handlePub dispatches PubService methods.
+func (rt *Runtime) handlePub(p sched.Proc, from, method string, body []byte) ([]byte, error) {
+	switch method {
+	case "create":
+		var req createReq
+		if err := rmi.Unmarshal(body, &req); err != nil {
+			return nil, err
+		}
+		return nil, rt.create(req.Ref)
+	case "invoke":
+		var req invokeReq
+		if err := rmi.Unmarshal(body, &req); err != nil {
+			return nil, err
+		}
+		res, err := rt.invoke(p, req)
+		if err != nil {
+			return nil, err
+		}
+		return rmi.MustMarshal(invokeResp{Result: res}), nil
+	case "migrateOut":
+		var req migrateOutReq
+		if err := rmi.Unmarshal(body, &req); err != nil {
+			return nil, err
+		}
+		return nil, rt.migrateOut(p, req)
+	case "migrateIn":
+		var req migrateInReq
+		if err := rmi.Unmarshal(body, &req); err != nil {
+			return nil, err
+		}
+		return nil, rt.migrateIn(req)
+	case "free":
+		var req freeReq
+		if err := rmi.Unmarshal(body, &req); err != nil {
+			return nil, err
+		}
+		rt.freeTraced(objKey{req.App, req.ID})
+		return nil, nil
+	case "store":
+		var req storeReq
+		if err := rmi.Unmarshal(body, &req); err != nil {
+			return nil, err
+		}
+		key, err := rt.persist(p, req)
+		if err != nil {
+			return nil, err
+		}
+		return rmi.MustMarshal(key), nil
+	case "load":
+		var req loadReq
+		if err := rmi.Unmarshal(body, &req); err != nil {
+			return nil, err
+		}
+		return nil, rt.loadStored(req)
+	case "loadCodebase":
+		var req codebaseReq
+		if err := rmi.Unmarshal(body, &req); err != nil {
+			return nil, err
+		}
+		newBytes, err := rt.store.Load(req.Classes...)
+		if err == nil {
+			rt.world.emit(trace.Event{
+				Kind: trace.CodebaseLoaded, Node: rt.Node(),
+				Detail: fmt.Sprintf("%d classes, %d new bytes", len(req.Classes), newBytes),
+			})
+		}
+		return nil, err
+	case "objects":
+		return rmi.MustMarshal(rt.Objects()), nil
+	}
+	return nil, fmt.Errorf("oas: puboa has no method %q", method)
+}
+
+// create instantiates an object of ref's class on this node.
+func (rt *Runtime) create(ref Ref) error {
+	inst, err := rt.store.New(ref.Class)
+	if err != nil {
+		return err
+	}
+	rt.bind(inst)
+	key := objKey{ref.App, ref.ID}
+	rt.mu.Lock()
+	if _, dup := rt.hosted[key]; dup {
+		rt.mu.Unlock()
+		return fmt.Errorf("oas: object %s/%d already exists", ref.App, ref.ID)
+	}
+	rt.hosted[key] = &hostedObj{ref: ref, instance: inst}
+	rt.mu.Unlock()
+	rt.updateObjectGauge()
+	rt.world.emit(trace.Event{Kind: trace.ObjCreated, Node: rt.Node(), App: ref.App, Obj: ref.ID, Detail: ref.Class})
+	return nil
+}
+
+// RuntimeAware objects receive their hosting runtime on creation,
+// migration, and load, letting methods reach Ctx-free facilities.
+type RuntimeAware interface {
+	BindRuntime(rt *Runtime)
+}
+
+func (rt *Runtime) bind(inst any) {
+	if ra, ok := inst.(RuntimeAware); ok {
+		ra.BindRuntime(rt)
+	}
+}
+
+var ctxType = reflect.TypeOf((*Ctx)(nil))
+
+// invoke executes a method on a hosted object.  Invocations on an object
+// that has migrated away (or is mid-migration) fail with the typed
+// sentinel the caller uses to re-resolve the location (Fig. 4).
+func (rt *Runtime) invoke(p sched.Proc, req invokeReq) (any, error) {
+	key := objKey{req.App, req.ID}
+	rt.mu.Lock()
+	h, ok := rt.hosted[key]
+	if !ok {
+		rt.mu.Unlock()
+		return nil, errors.New(errObjMoved)
+	}
+	if h.migrating || h.wanted {
+		// A migration (or store) is in progress or waiting for the
+		// object to quiesce.  New invocations yield so back-to-back
+		// callers cannot starve it; they retry and re-resolve the
+		// location once the object lands (Fig. 4).
+		rt.mu.Unlock()
+		return nil, errors.New(errObjBusy)
+	}
+	h.executing++
+	inst := h.instance
+	rt.mu.Unlock()
+
+	defer func() {
+		rt.mu.Lock()
+		h.executing--
+		rt.mu.Unlock()
+	}()
+
+	args := req.Args
+	// Methods may declare *core.Ctx as their first parameter to access
+	// the execution context.
+	if m := reflect.ValueOf(inst).MethodByName(req.Method); m.IsValid() {
+		if t := m.Type(); t.NumIn() > 0 && t.In(0) == ctxType {
+			args = append([]any{&Ctx{P: p, RT: rt}}, args...)
+		}
+	}
+	return codebase.Invoke(inst, req.Method, args)
+}
+
+// migrateOut implements pa1's side of the migration protocol (Fig. 3):
+// wait for in-flight methods to finish, serialize the object, hand it to
+// pa2, and release the local instance once pa2 confirms.
+func (rt *Runtime) migrateOut(p sched.Proc, req migrateOutReq) error {
+	key := objKey{req.App, req.ID}
+	h, err := rt.acquireQuiescent(p, key)
+	if err != nil {
+		return err
+	}
+	state, err := rmi.Marshal(h.instance)
+	if err != nil {
+		rt.releaseMigrating(key)
+		return fmt.Errorf("oas: serialize for migration: %w", err)
+	}
+	// Step 2-3: transfer and wait for pa2's confirmation.
+	body := rmi.MustMarshal(migrateInReq{Ref: h.ref, State: state})
+	if _, err := rt.st.Call(p, req.Dest, PubService, "migrateIn", body, 10*time.Second); err != nil {
+		rt.releaseMigrating(key) // migration failed; object stays usable
+		return err
+	}
+	// Step 4: drop the local instance.
+	rt.free(key)
+	return nil
+}
+
+// migrateIn implements pa2's side: re-instantiate from serialized state.
+func (rt *Runtime) migrateIn(req migrateInReq) error {
+	inst, err := rt.store.New(req.Ref.Class)
+	if err != nil {
+		return err
+	}
+	if err := rmi.Unmarshal(req.State, inst); err != nil {
+		return fmt.Errorf("oas: deserialize migrated object: %w", err)
+	}
+	rt.bind(inst)
+	key := objKey{req.Ref.App, req.Ref.ID}
+	rt.mu.Lock()
+	rt.hosted[key] = &hostedObj{ref: req.Ref, instance: inst}
+	rt.mu.Unlock()
+	rt.updateObjectGauge()
+	return nil
+}
+
+// acquireQuiescent waits until the object has no executing methods, then
+// marks it migrating so no new invocation can start (paper §4.6:
+// "migration is delayed until all unfinished method invocations have
+// completed execution").  While waiting it flags the object so new
+// invocations are deflected, guaranteeing the wait terminates even under
+// a continuous stream of calls.
+func (rt *Runtime) acquireQuiescent(p sched.Proc, key objKey) (*hostedObj, error) {
+	for {
+		rt.mu.Lock()
+		h, ok := rt.hosted[key]
+		if !ok {
+			rt.mu.Unlock()
+			return nil, errors.New(errObjMoved)
+		}
+		if h.migrating {
+			rt.mu.Unlock()
+			return nil, errors.New(errObjBusy)
+		}
+		if h.executing == 0 {
+			h.wanted = false
+			h.migrating = true
+			rt.mu.Unlock()
+			return h, nil
+		}
+		h.wanted = true
+		rt.mu.Unlock()
+		p.Sleep(2 * time.Millisecond)
+	}
+}
+
+// releaseMigrating clears the migration mark after a failed or completed
+// non-destructive acquisition.
+func (rt *Runtime) releaseMigrating(key objKey) {
+	rt.mu.Lock()
+	if h, ok := rt.hosted[key]; ok {
+		h.migrating = false
+		h.wanted = false
+	}
+	rt.mu.Unlock()
+}
+
+// free drops a hosted object.
+func (rt *Runtime) free(key objKey) {
+	rt.mu.Lock()
+	delete(rt.hosted, key)
+	rt.mu.Unlock()
+	rt.updateObjectGauge()
+}
+
+// freeTraced drops a hosted object and records it (explicit frees; the
+// removal half of a migration is part of the migration event instead).
+func (rt *Runtime) freeTraced(key objKey) {
+	rt.free(key)
+	rt.world.emit(trace.Event{Kind: trace.ObjFreed, Node: rt.Node(), App: key.app, Obj: key.id})
+}
+
+// persist stores a quiescent object's state under req.Key (paper §4.7).
+// The object stays hosted and usable afterwards.
+func (rt *Runtime) persist(p sched.Proc, req storeReq) (string, error) {
+	key := objKey{req.App, req.ID}
+	h, err := rt.acquireQuiescent(p, key)
+	if err != nil {
+		return "", err
+	}
+	defer rt.releaseMigrating(key)
+	state, err := rmi.Marshal(h.instance)
+	if err != nil {
+		return "", fmt.Errorf("oas: serialize for store: %w", err)
+	}
+	k := req.Key
+	if k == "" {
+		k = fmt.Sprintf("jsobj-%s-%d-%d", req.App, req.ID, p.Sched().Now().Nanoseconds())
+	}
+	if err := rt.world.storage.Put(k, PersistRecord{Class: h.ref.Class, State: state}); err != nil {
+		return "", err
+	}
+	rt.world.emit(trace.Event{Kind: trace.ObjStored, Node: rt.Node(), App: req.App, Obj: req.ID, Detail: k})
+	return k, nil
+}
+
+// loadStored re-materializes a stored object on this node under a fresh
+// ref.
+func (rt *Runtime) loadStored(req loadReq) error {
+	rec, err := rt.world.storage.Get(req.Key)
+	if err != nil {
+		return err
+	}
+	if rec.Class != req.Ref.Class {
+		return fmt.Errorf("oas: stored object %q has class %s, expected %s", req.Key, rec.Class, req.Ref.Class)
+	}
+	if err := rt.migrateIn(migrateInReq{Ref: req.Ref, State: rec.State}); err != nil {
+		return err
+	}
+	rt.world.emit(trace.Event{Kind: trace.ObjLoaded, Node: rt.Node(), App: req.Ref.App, Obj: req.Ref.ID, Detail: req.Key})
+	return nil
+}
+
+// InvokeRef performs a synchronous invocation through a first-order
+// handle from this node.  The last known location of each foreign object
+// is cached; when a call misses (the object migrated), the location is
+// re-resolved through the origin AppOA (Fig. 4) and the cache updated.
+func (rt *Runtime) InvokeRef(p sched.Proc, ref Ref, method string, args []any) (any, error) {
+	key := objKey{ref.App, ref.ID}
+	rt.mu.Lock()
+	loc, cached := rt.locCache[key]
+	rt.mu.Unlock()
+	if !cached {
+		loc = ref.Origin // first guess: objects often live near their app
+	}
+	var lastErr error
+	deadline := p.Sched().Now() + invokeTimeout
+	backoff := 2 * time.Millisecond
+	for p.Sched().Now() < deadline {
+		res, err := rt.invokeAt(p, loc, ref, method, args)
+		if err == nil {
+			rt.mu.Lock()
+			rt.locCache[key] = loc
+			rt.mu.Unlock()
+			return res, nil
+		}
+		lastErr = err
+		if !rmi.IsRemote(err, errObjMoved) && !rmi.IsRemote(err, errObjBusy) && !rmi.IsRemote(err, errObjUnknown) {
+			return nil, err
+		}
+		if rmi.IsRemote(err, errObjBusy) {
+			// Migration in progress: block-and-retry (the paper's RMI
+			// simply waits), with bounded backoff.
+			p.Sleep(backoff)
+			if backoff < 50*time.Millisecond {
+				backoff *= 2
+			}
+		}
+		newLoc, err2 := rt.locate(p, ref)
+		if err2 != nil {
+			return nil, fmt.Errorf("oas: relocating %s/%d: %w", ref.App, ref.ID, err2)
+		}
+		loc = newLoc
+	}
+	return nil, fmt.Errorf("oas: invocation kept missing migrating object: %w", lastErr)
+}
+
+// invokeAt issues one invocation attempt at a specific node, taking the
+// local fast path (the paper's "local (direct) method invocation") when
+// the object is hosted here.
+func (rt *Runtime) invokeAt(p sched.Proc, loc string, ref Ref, method string, args []any) (any, error) {
+	req := invokeReq{App: ref.App, ID: ref.ID, Method: method, Args: args}
+	if loc == rt.Node() {
+		res, err := rt.invoke(p, req)
+		if err != nil {
+			// Mirror the wire behaviour so retry logic sees the same
+			// sentinels either way.
+			return nil, &rmi.RemoteError{Node: loc, Msg: err.Error()}
+		}
+		return res, nil
+	}
+	body, err := rmi.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	respBody, err := rt.st.Call(p, loc, PubService, "invoke", body, invokeTimeout)
+	if err != nil {
+		return nil, err
+	}
+	var resp invokeResp
+	if err := rmi.Unmarshal(respBody, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Result, nil
+}
+
+// invokeTimeout bounds one remote method execution.  Long-running
+// methods should be asynchronous by design; the paper's blocking RMI has
+// no timeout at all, so this is generous.
+const invokeTimeout = 10 * time.Minute
+
+// ForgetLocation drops the cached location of a foreign object, forcing
+// the next InvokeRef to re-resolve through the origin AppOA (used when a
+// caller learns out-of-band that the topology changed, and by the
+// forwarding-penalty benchmark).
+func (rt *Runtime) ForgetLocation(ref Ref) {
+	rt.mu.Lock()
+	delete(rt.locCache, objKey{ref.App, ref.ID})
+	rt.mu.Unlock()
+}
+
+// locate asks the origin AppOA where the object currently lives (Fig. 4).
+func (rt *Runtime) locate(p sched.Proc, ref Ref) (string, error) {
+	body, err := rt.st.Call(p, ref.Origin, ref.appService(), "locate",
+		rmi.MustMarshal(locateReq{ID: ref.ID}), 5*time.Second)
+	if err != nil {
+		return "", err
+	}
+	var resp locateResp
+	if err := rmi.Unmarshal(body, &resp); err != nil {
+		return "", err
+	}
+	if !resp.OK {
+		return "", errors.New(errObjUnknown)
+	}
+	return resp.Node, nil
+}

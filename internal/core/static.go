@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"jsymphony/internal/nas"
+	"jsymphony/internal/rmi"
+	"jsymphony/internal/sched"
+)
+
+// Static objects implement the paper's announced extension (§7: "we are
+// extending JavaSymphony to handle static methods and variables", the
+// feature JavaParty already had).  Each class has at most one static
+// instance per installation; its exported fields play the role of the
+// class's static variables and its methods the static methods.  Every
+// application resolves the same instance, hosted on a JRS-chosen node.
+//
+// The static manager lives on the directory node: service StaticService
+// resolves (and lazily creates) static instances, and the companion
+// "oas.app:static" service is their locate authority, so first-order
+// refs to static objects work exactly like ordinary ones.
+
+// StaticService is the RMI service name of the static-object manager.
+const StaticService = "oas.static"
+
+// staticApp is the pseudo application id owning all static instances.
+const staticApp = "static"
+
+// staticReq asks the manager for a class's static instance.
+type staticReq struct {
+	Class string
+}
+
+// staticResp carries the resolved handle.
+type staticResp struct {
+	Ref  Ref
+	Node string
+}
+
+// staticManager runs on the directory node.
+type staticManager struct {
+	rt      *Runtime
+	mu      chanLock
+	seq     uint64
+	byClass map[string]staticResp
+	byID    map[uint64]string // object id -> current node
+}
+
+// chanLock is a mutex usable while its holder performs blocking RMI in
+// virtual time: a plain sync.Mutex would be held across Sleep, which is
+// fine, but a channel keeps lock-ordering explicit and non-reentrant.
+type chanLock chan struct{}
+
+func newChanLock() chanLock {
+	l := make(chanLock, 1)
+	l <- struct{}{}
+	return l
+}
+
+func (l chanLock) lock()   { <-l }
+func (l chanLock) unlock() { l <- struct{}{} }
+
+// installStaticManager registers the static services on the directory
+// node's runtime.
+func installStaticManager(rt *Runtime) *staticManager {
+	m := &staticManager{
+		rt:      rt,
+		mu:      newChanLock(),
+		byClass: make(map[string]staticResp),
+		byID:    make(map[uint64]string),
+	}
+	rt.st.Register(StaticService, m.handle)
+	rt.st.Register("oas.app:"+staticApp, m.handleLocate)
+	return m
+}
+
+func (m *staticManager) handle(p sched.Proc, from, method string, body []byte) ([]byte, error) {
+	switch method {
+	case "resolve":
+		var req staticReq
+		if err := rmi.Unmarshal(body, &req); err != nil {
+			return nil, err
+		}
+		resp, err := m.resolve(p, req.Class)
+		if err != nil {
+			return nil, err
+		}
+		return rmi.MustMarshal(resp), nil
+	}
+	return nil, fmt.Errorf("oas: static manager has no method %q", method)
+}
+
+func (m *staticManager) handleLocate(p sched.Proc, from, method string, body []byte) ([]byte, error) {
+	switch method {
+	case "locate":
+		var req locateReq
+		if err := rmi.Unmarshal(body, &req); err != nil {
+			return nil, err
+		}
+		m.mu.lock()
+		node, ok := m.byID[req.ID]
+		m.mu.unlock()
+		return rmi.MustMarshal(locateResp{Node: node, OK: ok}), nil
+	}
+	return nil, fmt.Errorf("oas: static locator has no method %q", method)
+}
+
+// resolve returns the class's static instance, creating it on the best
+// node that has the class loaded if this is the first use.
+func (m *staticManager) resolve(p sched.Proc, class string) (staticResp, error) {
+	if _, ok := m.rt.world.registry.Lookup(class); !ok {
+		return staticResp{}, fmt.Errorf("oas: unknown class %q", class)
+	}
+	m.mu.lock()
+	defer m.mu.unlock()
+	if resp, ok := m.byClass[class]; ok {
+		return resp, nil
+	}
+	// Pick candidates the way ordinary placement does.
+	w := m.rt.world
+	nodes, err := nas.SelectNodes(p, m.rt.st, w.dirNode, nas.SelectOpts{
+		N: min(3, len(w.Nodes())), Constr: w.DefaultConstraints(),
+	})
+	if err != nil {
+		nodes, err = nas.SelectNodes(p, m.rt.st, w.dirNode, nas.SelectOpts{N: 1})
+		if err != nil {
+			return staticResp{}, err
+		}
+	}
+	m.seq++
+	ref := Ref{App: staticApp, ID: m.seq, Class: class, Origin: m.rt.Node()}
+	var lastErr error
+	for _, node := range nodes {
+		body := rmi.MustMarshal(createReq{Ref: ref})
+		if _, err := m.rt.st.Call(p, node, PubService, "create", body, 10*time.Second); err != nil {
+			lastErr = err
+			continue
+		}
+		resp := staticResp{Ref: ref, Node: node}
+		m.byClass[class] = resp
+		m.byID[ref.ID] = node
+		return resp, nil
+	}
+	return staticResp{}, fmt.Errorf("oas: could not host static %q: %w", class, lastErr)
+}
+
+// StaticRef resolves the static instance of a class (creating it on
+// first use anywhere in the installation) and returns its first-order
+// handle.
+func (a *App) StaticRef(p sched.Proc, class string) (Ref, error) {
+	body, err := a.rt.st.Call(p, a.world.dirNode, StaticService, "resolve",
+		rmi.MustMarshal(staticReq{Class: class}), 10*time.Second)
+	if err != nil {
+		return Ref{}, err
+	}
+	var resp staticResp
+	if err := rmi.Unmarshal(body, &resp); err != nil {
+		return Ref{}, err
+	}
+	return resp.Ref, nil
+}

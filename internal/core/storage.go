@@ -1,0 +1,155 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// PersistRecord is one stored object (paper §4.7): its class and
+// serialized state, retrievable under a unique string key.
+type PersistRecord struct {
+	Class string
+	State []byte
+}
+
+// Storage is the external storage persistent objects go to.
+type Storage interface {
+	// Put stores rec under key, overwriting any previous record.
+	Put(key string, rec PersistRecord) error
+	// Get retrieves the record stored under key.
+	Get(key string) (PersistRecord, error)
+	// Delete removes a record (absent keys are not an error).
+	Delete(key string) error
+	// Keys lists stored keys.
+	Keys() ([]string, error)
+}
+
+// MemStorage is an in-memory Storage, the default for simulations.
+type MemStorage struct {
+	mu   sync.Mutex
+	recs map[string]PersistRecord
+}
+
+// NewMemStorage returns an empty in-memory store.
+func NewMemStorage() *MemStorage {
+	return &MemStorage{recs: make(map[string]PersistRecord)}
+}
+
+// Put implements Storage.
+func (m *MemStorage) Put(key string, rec PersistRecord) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.recs[key] = rec
+	return nil
+}
+
+// Get implements Storage.
+func (m *MemStorage) Get(key string) (PersistRecord, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec, ok := m.recs[key]
+	if !ok {
+		return PersistRecord{}, fmt.Errorf("core: no stored object %q", key)
+	}
+	return rec, nil
+}
+
+// Delete implements Storage.
+func (m *MemStorage) Delete(key string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.recs, key)
+	return nil
+}
+
+// Keys implements Storage.
+func (m *MemStorage) Keys() ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.recs))
+	for k := range m.recs {
+		out = append(out, k)
+	}
+	return out, nil
+}
+
+// FileStorage persists records as gob files in a directory, one file per
+// key — real external storage for real deployments.
+type FileStorage struct {
+	dir string
+	mu  sync.Mutex
+}
+
+// NewFileStorage creates (if needed) and uses dir.
+func NewFileStorage(dir string) (*FileStorage, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("core: storage dir: %w", err)
+	}
+	return &FileStorage{dir: dir}, nil
+}
+
+// path maps a key to a file name, escaping separators.
+func (f *FileStorage) path(key string) string {
+	safe := strings.NewReplacer("/", "_", "\\", "_", ":", "_").Replace(key)
+	return filepath.Join(f.dir, safe+".jsobj")
+}
+
+// Put implements Storage.
+func (f *FileStorage) Put(key string, rec PersistRecord) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	file, err := os.Create(f.path(key))
+	if err != nil {
+		return err
+	}
+	defer file.Close()
+	return gob.NewEncoder(file).Encode(rec)
+}
+
+// Get implements Storage.
+func (f *FileStorage) Get(key string) (PersistRecord, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	file, err := os.Open(f.path(key))
+	if err != nil {
+		return PersistRecord{}, fmt.Errorf("core: no stored object %q: %w", key, err)
+	}
+	defer file.Close()
+	var rec PersistRecord
+	if err := gob.NewDecoder(file).Decode(&rec); err != nil {
+		return PersistRecord{}, err
+	}
+	return rec, nil
+}
+
+// Delete implements Storage.
+func (f *FileStorage) Delete(key string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	err := os.Remove(f.path(key))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+// Keys implements Storage.
+func (f *FileStorage) Keys() ([]string, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ents, err := os.ReadDir(f.dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range ents {
+		if name, ok := strings.CutSuffix(e.Name(), ".jsobj"); ok {
+			out = append(out, name)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,125 @@
+// Package core implements the JavaSymphony Object Agent System (paper
+// §5.2) and the object programming model built on it (§4.4–4.7):
+//
+//   - Every node runs a Runtime hosting a public object agent (PubOA)
+//     that owns the object instances generated on that node: creation,
+//     method execution, migration, persistence, deletion.
+//   - Every application attaches an App (the AppOA): it keeps the
+//     local-objects-table mapping object handles to their current
+//     location, answers "where is this object now?" queries, and drives
+//     migration — so the agent the object originates from always knows
+//     where it lives, and a remote invocation that races a migration is
+//     transparently re-resolved (Fig. 4).
+//   - Objects are addressed by first-order handles (Ref) that can cross
+//     the wire as method parameters.
+//   - sinvoke / ainvoke / oinvoke map to synchronous calls, calls run on
+//     a dedicated proc returning a ResultHandle, and one-way posts.
+package core
+
+import (
+	"jsymphony/internal/params"
+	"jsymphony/internal/rmi"
+)
+
+// PubService is the RMI service name of every node's public object agent.
+const PubService = "oas.pub"
+
+// Ref is a first-order object handle (paper §5.2: "object handles
+// (first-order objects) can be passed to methods of other objects").  It
+// is gob-serializable and identifies the object globally.
+type Ref struct {
+	App    string // owning application id ("app:<node>:<n>")
+	ID     uint64 // object sequence number within the application
+	Class  string // class name in the codebase registry
+	Origin string // node of the owning AppOA (the locate authority)
+}
+
+// IsZero reports whether the ref is empty.
+func (r Ref) IsZero() bool { return r.App == "" && r.ID == 0 }
+
+// appService returns the RMI service name of the owning AppOA.
+func (r Ref) appService() string { return "oas.app:" + r.App }
+
+// Wire messages of the OAS protocols.
+type (
+	// createReq asks a PubOA to instantiate an object (AppOA → PubOA).
+	createReq struct {
+		Ref Ref
+	}
+	// invokeReq executes a method on a hosted object.
+	invokeReq struct {
+		App    string
+		ID     uint64
+		Method string
+		Args   []any
+	}
+	// invokeResp returns the method result.
+	invokeResp struct {
+		Result any
+	}
+	// migrateOutReq asks the current host pa1 to move the object to
+	// Dest (= pa2); sent by the origin AppOA (Fig. 3 step 1).
+	migrateOutReq struct {
+		App  string
+		ID   uint64
+		Dest string
+	}
+	// migrateInReq carries the serialized object to pa2 (Fig. 3 step 2).
+	migrateInReq struct {
+		Ref   Ref
+		State []byte
+	}
+	// freeReq releases a hosted object.
+	freeReq struct {
+		App string
+		ID  uint64
+	}
+	// storeReq persists a hosted object under Key.
+	storeReq struct {
+		App string
+		ID  uint64
+		Key string
+	}
+	// loadReq re-materializes a stored object on the receiving node.
+	loadReq struct {
+		Ref Ref
+		Key string
+	}
+	// locateReq asks an AppOA where its object currently lives.
+	locateReq struct {
+		ID uint64
+	}
+	// locateResp answers with the current node.
+	locateResp struct {
+		Node string
+		OK   bool
+	}
+	// codebaseReq loads classes onto the receiving node; the jar bytes
+	// are modeled by the message pad.
+	codebaseReq struct {
+		Classes []string
+	}
+)
+
+// Typed error sentinels tunneled through rmi.RemoteError by message.
+const (
+	errObjMoved   = "oas: object not hosted here"
+	errObjBusy    = "oas: object is migrating"
+	errObjUnknown = "oas: no such object"
+)
+
+func init() {
+	// Basic method parameter/result types every application may use.
+	for _, v := range []any{
+		int(0), int8(0), int16(0), int32(0), int64(0),
+		uint(0), uint8(0), uint16(0), uint32(0), uint64(0),
+		float32(0), float64(0), false, "",
+		[]int(nil), []int64(nil), []float32(nil), []float64(nil),
+		[]string(nil), []byte(nil), []any(nil),
+		map[string]string(nil), map[string]float64(nil),
+		Ref{}, []Ref(nil),
+		params.Snapshot(nil),
+	} {
+		rmi.RegisterType(v)
+	}
+}

@@ -1,0 +1,374 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"sync"
+
+	"jsymphony/internal/codebase"
+	"jsymphony/internal/nas"
+	"jsymphony/internal/params"
+	"jsymphony/internal/rmi"
+	"jsymphony/internal/sched"
+	"jsymphony/internal/simnet"
+	"jsymphony/internal/trace"
+	"jsymphony/internal/vclock"
+)
+
+// Options tune a World.  The zero value gives sensible defaults.
+type Options struct {
+	NAS        nas.Config          // network agent timing
+	Storage    Storage             // persistent-object store (default in-memory)
+	Registry   *codebase.Registry  // class registry (default codebase.Default)
+	Cost       rmi.CostModel       // simulated RMI CPU cost (default rmi.DefaultCost)
+	MemLatency time.Duration       // in-memory transport latency (default 200µs)
+	Default    *params.Constraints // JS-Shell default constraints for automatic decisions
+}
+
+func (o Options) withDefaults() Options {
+	if o.Storage == nil {
+		o.Storage = NewMemStorage()
+	}
+	if o.Registry == nil {
+		o.Registry = codebase.Default
+	}
+	if o.Cost == (rmi.CostModel{}) {
+		o.Cost = rmi.DefaultCost
+	}
+	switch {
+	case o.MemLatency < 0:
+		o.MemLatency = 0 // negative = genuinely instant delivery
+	case o.MemLatency == 0:
+		o.MemLatency = 200 * time.Microsecond
+	}
+	return o
+}
+
+// World is one JRS installation: a scheduler, a transport, and a runtime
+// (station + agent + PubOA) per node, plus the directory the JS-Shell
+// uses.  Sim worlds run in virtual time on a simulated cluster; local
+// and TCP worlds run in real time.
+type World struct {
+	s        sched.Sched
+	clk      *vclock.Clock  // nil in real time
+	fab      *simnet.Fabric // nil outside the simulation
+	storage  Storage
+	registry *codebase.Registry
+	nasCfg   nas.Config
+	dirNode  string
+	dir      *nas.Directory
+
+	synth  map[string]*nas.SynthSampler // real-time worlds only
+	tracer *trace.Log
+
+	mu          sync.Mutex
+	runtimes    map[string]*Runtime
+	order       []string
+	apps        []*App
+	appSeq      int
+	defaults    *params.Constraints
+	autoPeriod  time.Duration // auto-migration period (0 = disabled)
+	started     bool
+	shutDown    bool
+	hierarchies []*nas.Hierarchy
+}
+
+// NewSimWorld builds a virtual-time world over a simulated cluster.
+func NewSimWorld(specs []simnet.MachineSpec, profile simnet.LoadProfile, seed int64, opt Options) *World {
+	opt = opt.withDefaults()
+	clk := vclock.New()
+	s := sched.Virtual(clk)
+	fab := simnet.New(clk, specs, profile, seed)
+	w := newWorld(s, opt)
+	w.clk = clk
+	w.fab = fab
+	net := rmi.NewFab(fab, opt.Cost)
+	for _, m := range fab.Machines() {
+		w.addNode(net, m.Name(), m, nas.SimSampler{M: m})
+	}
+	return w
+}
+
+// NewLocalWorld builds a real-time world over the in-memory transport
+// with synthetic node metrics.
+func NewLocalWorld(nodeNames []string, opt Options) *World {
+	opt = opt.withDefaults()
+	s := sched.Real()
+	w := newWorld(s, opt)
+	net := rmi.NewMem(s, opt.MemLatency)
+	for i, name := range nodeNames {
+		sp := synthSampler(name, i)
+		w.synth[name] = sp
+		w.addNode(net, name, nil, sp)
+	}
+	return w
+}
+
+// NewTCPWorld builds a real-time world whose nodes talk real TCP over
+// loopback.
+func NewTCPWorld(nodeNames []string, opt Options) *World {
+	opt = opt.withDefaults()
+	s := sched.Real()
+	w := newWorld(s, opt)
+	net := rmi.NewTCP(s)
+	for i, name := range nodeNames {
+		sp := synthSampler(name, i)
+		w.synth[name] = sp
+		w.addNode(net, name, nil, sp)
+	}
+	return w
+}
+
+// SynthSampler returns the synthetic sampler of a real-time world's
+// node, letting tests and demos steer node metrics (nil for sim worlds).
+func (w *World) SynthSampler(node string) *nas.SynthSampler {
+	return w.synth[node]
+}
+
+// synthSampler fabricates plausible static metrics for real-time worlds.
+func synthSampler(name string, i int) *nas.SynthSampler {
+	snap := params.Snapshot{
+		params.NodeName:   params.Text(name),
+		params.OSName:     params.Text("linux"),
+		params.ArchType:   params.Text("amd64"),
+		params.Idle:       params.Float(95),
+		params.CPUSysLoad: params.Float(2),
+		params.AvailMem:   params.Float(1024),
+		params.TotalMem:   params.Float(2048),
+		params.SwapRatio:  params.Float(0.05),
+		params.PeakMFlops: params.Float(1000 + float64(i)),
+		params.PeakBandwd: params.Float(1000),
+	}
+	return nas.NewSynthSampler(snap)
+}
+
+func newWorld(s sched.Sched, opt Options) *World {
+	return &World{
+		s:        s,
+		storage:  opt.Storage,
+		registry: opt.Registry,
+		nasCfg:   opt.NAS,
+		runtimes: make(map[string]*Runtime),
+		synth:    make(map[string]*nas.SynthSampler),
+		defaults: opt.Default,
+		tracer:   trace.NewLog(trace.DefaultDepth),
+	}
+}
+
+// addNode attaches one node: station, agent, runtime.  The first node
+// added hosts the directory.
+func (w *World) addNode(net rmi.Network, name string, mach *simnet.Machine, sampler nas.Sampler) {
+	ep, err := net.Attach(name)
+	if err != nil {
+		panic(fmt.Sprintf("core: attach %s: %v", name, err))
+	}
+	st := rmi.NewStation(w.s, ep)
+	first := w.dirNode == ""
+	if first {
+		w.dirNode = name
+		w.dir = nas.NewDirectory(st, w.nasCfg)
+	}
+	agent := nas.NewAgent(st, sampler, w.nasCfg, w.dirNode)
+	rt := newRuntime(w, st, agent, mach)
+	if first {
+		// The directory node also hosts the static-object manager.
+		installStaticManager(rt)
+	}
+	w.mu.Lock()
+	w.runtimes[name] = rt
+	w.order = append(w.order, name)
+	w.mu.Unlock()
+}
+
+// Sched returns the world's scheduler.
+func (w *World) Sched() sched.Sched { return w.s }
+
+// Clock returns the virtual clock (nil for real-time worlds).
+func (w *World) Clock() *vclock.Clock { return w.clk }
+
+// Fabric returns the simulated fabric (nil outside the simulation).
+func (w *World) Fabric() *simnet.Fabric { return w.fab }
+
+// Directory returns the installation directory.
+func (w *World) Directory() *nas.Directory { return w.dir }
+
+// DirNode returns the node hosting the directory.
+func (w *World) DirNode() string { return w.dirNode }
+
+// Storage returns the persistent-object store.
+func (w *World) Storage() Storage { return w.storage }
+
+// Trace returns the installation's event log.
+func (w *World) Trace() *trace.Log { return w.tracer }
+
+// emit records an installation event with the current scheduler time.
+func (w *World) emit(e trace.Event) {
+	e.At = w.s.Now()
+	w.tracer.Emit(e)
+}
+
+// NASConfig returns the effective network-agent configuration.
+func (w *World) NASConfig() nas.Config {
+	cfg := w.nasCfg
+	if cfg.MonitorPeriod <= 0 || cfg.FailTimeout <= 0 || cfg.CallTimeout <= 0 {
+		d := nas.DefaultConfig()
+		if cfg.MonitorPeriod <= 0 {
+			cfg.MonitorPeriod = d.MonitorPeriod
+		}
+		if cfg.FailTimeout <= 0 {
+			cfg.FailTimeout = d.FailTimeout
+		}
+		if cfg.CallTimeout <= 0 {
+			cfg.CallTimeout = d.CallTimeout
+		}
+	}
+	return cfg
+}
+
+// Registry returns the class registry.
+func (w *World) Registry() *codebase.Registry { return w.registry }
+
+// Nodes returns all node names in attach order.
+func (w *World) Nodes() []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]string(nil), w.order...)
+}
+
+// Runtime returns the named node's runtime.
+func (w *World) Runtime(name string) (*Runtime, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	rt, ok := w.runtimes[name]
+	return rt, ok
+}
+
+// MustRuntime is Runtime for nodes known to exist.
+func (w *World) MustRuntime(name string) *Runtime {
+	rt, ok := w.Runtime(name)
+	if !ok {
+		panic("core: no runtime for node " + name)
+	}
+	return rt
+}
+
+// DefaultConstraints returns the JS-Shell default constraint set (may be
+// nil).
+func (w *World) DefaultConstraints() *params.Constraints {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.defaults
+}
+
+// SetDefaultConstraints installs the JS-Shell default constraints used
+// for automatic placement and migration when an application gives none.
+func (w *World) SetDefaultConstraints(c *params.Constraints) {
+	w.mu.Lock()
+	w.defaults = c
+	w.mu.Unlock()
+}
+
+// AutoMigrationPeriod returns the period (0 = automatic migration off).
+func (w *World) AutoMigrationPeriod() time.Duration {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.autoPeriod
+}
+
+// SetAutoMigration enables (period > 0) or disables (0) automatic object
+// migration — the JS-Shell toggle of §5.2.  Affects applications
+// registered afterwards and the engines of already-registered ones at
+// their next cycle.
+func (w *World) SetAutoMigration(period time.Duration) {
+	w.mu.Lock()
+	w.autoPeriod = period
+	apps := append([]*App(nil), w.apps...)
+	w.mu.Unlock()
+	for _, a := range apps {
+		a.setAutoPeriod(period)
+	}
+}
+
+// Start launches every station and agent.
+func (w *World) Start() {
+	w.mu.Lock()
+	if w.started {
+		w.mu.Unlock()
+		return
+	}
+	w.started = true
+	rts := make([]*Runtime, 0, len(w.order))
+	for _, n := range w.order {
+		rts = append(rts, w.runtimes[n])
+	}
+	w.mu.Unlock()
+	for _, rt := range rts {
+		rt.st.Start()
+	}
+	for _, rt := range rts {
+		rt.agent.Start()
+	}
+}
+
+// trackHierarchy remembers a hierarchy for shutdown.
+func (w *World) trackHierarchy(h *nas.Hierarchy) {
+	w.mu.Lock()
+	w.hierarchies = append(w.hierarchies, h)
+	w.mu.Unlock()
+}
+
+// Shutdown stops agents, hierarchies, application engines, and stations.
+// p is used to let periodic loops observe their stop flags; pass any live
+// proc (sim worlds) — real worlds may pass nil.
+func (w *World) Shutdown(p sched.Proc) {
+	w.mu.Lock()
+	if w.shutDown {
+		w.mu.Unlock()
+		return
+	}
+	w.shutDown = true
+	apps := append([]*App(nil), w.apps...)
+	hiers := append([]*nas.Hierarchy(nil), w.hierarchies...)
+	rts := make([]*Runtime, 0, len(w.order))
+	for _, n := range w.order {
+		rts = append(rts, w.runtimes[n])
+	}
+	w.mu.Unlock()
+
+	for _, a := range apps {
+		a.stopEngine()
+	}
+	for _, h := range hiers {
+		h.Stop()
+	}
+	for _, rt := range rts {
+		rt.agent.Stop()
+	}
+	if p != nil {
+		cfg := w.nasCfg
+		if cfg.MonitorPeriod <= 0 {
+			cfg = nas.DefaultConfig()
+		}
+		p.Sleep(2 * cfg.MonitorPeriod)
+	}
+	for _, rt := range rts {
+		rt.st.Close()
+	}
+}
+
+// RunMain is the canonical way to drive a simulated world: it starts the
+// world, runs fn on an adopted main proc, shuts everything down, and
+// drains the simulation.  It panics on real-time worlds (just call Start
+// and your own goroutines there).
+func (w *World) RunMain(fn func(p sched.Proc)) {
+	if w.clk == nil {
+		panic("core: RunMain is for simulated worlds")
+	}
+	w.Start()
+	p, done := sched.AdoptVirtual(w.s, "main")
+	fn(p)
+	w.Shutdown(p)
+	done()
+	w.clk.Run()
+}

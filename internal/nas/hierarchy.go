@@ -1,0 +1,531 @@
+package nas
+
+import (
+	"fmt"
+	"sync"
+
+	"jsymphony/internal/params"
+	"jsymphony/internal/sched"
+)
+
+// Topology describes the nodes of one virtual architecture as
+// [site][cluster][]node-name.  A Hierarchy imposes the paper's manager
+// structure on it: every cluster has a manager node drawn from the
+// cluster, the site manager is one of its cluster managers, and the
+// domain manager is one of the site managers (§5.1: "Only a cluster
+// manager can be a site manager and only a site manager can be a domain
+// manager").
+type Topology [][][]string
+
+// Clone deep-copies the topology.
+func (t Topology) Clone() Topology {
+	out := make(Topology, len(t))
+	for s, site := range t {
+		out[s] = make([][]string, len(site))
+		for c, cl := range site {
+			out[s][c] = append([]string(nil), cl...)
+		}
+	}
+	return out
+}
+
+// Nodes returns every node name in the topology.
+func (t Topology) Nodes() []string {
+	var out []string
+	for _, site := range t {
+		for _, cl := range site {
+			out = append(out, cl...)
+		}
+	}
+	return out
+}
+
+// Component keys used for aggregates and events.
+func ClusterKey(site, cluster int) string { return fmt.Sprintf("cluster:%d:%d", site, cluster) }
+func SiteKey(site int) string             { return fmt.Sprintf("site:%d", site) }
+
+// DomainKey names the whole-domain aggregate.
+const DomainKey = "domain"
+
+// EventKind classifies hierarchy events.
+type EventKind int
+
+const (
+	// EventNodeFailed: a node stopped responding and was released from
+	// the architecture (§5.1 failure rule 1).
+	EventNodeFailed EventKind = iota
+	// EventManagerChanged: a backup manager took over a component
+	// (§5.1 failure rule 2), or a voluntary release moved the role.
+	EventManagerChanged
+)
+
+// Event is a hierarchy notification delivered to the JS-Shell / OAS.
+type Event struct {
+	Kind      EventKind
+	Component string // component key the event concerns
+	Node      string // failed node, or new manager
+	Old       string // previous manager for EventManagerChanged
+}
+
+func (e Event) String() string {
+	switch e.Kind {
+	case EventNodeFailed:
+		return fmt.Sprintf("node %s failed (%s)", e.Node, e.Component)
+	case EventManagerChanged:
+		return fmt.Sprintf("manager of %s: %s -> %s", e.Component, e.Old, e.Node)
+	}
+	return "unknown event"
+}
+
+// Hierarchy runs the manager processes of one virtual architecture.
+type Hierarchy struct {
+	agents map[string]*Agent
+	cfg    Config
+	notify func(Event)
+
+	mu         sync.Mutex
+	topo       Topology
+	clusterMgr map[[2]int]string
+	siteMgr    map[int]string
+	domainMgr  string
+	gens       map[string]int
+	stopped    bool
+}
+
+// NewHierarchy wires a hierarchy over the given per-node agents.  notify
+// (may be nil) receives failure and takeover events.
+func NewHierarchy(agents map[string]*Agent, topo Topology, cfg Config, notify func(Event)) *Hierarchy {
+	h := &Hierarchy{
+		agents:     agents,
+		cfg:        cfg.withDefaults(),
+		notify:     notify,
+		topo:       topo.Clone(),
+		clusterMgr: make(map[[2]int]string),
+		siteMgr:    make(map[int]string),
+		gens:       make(map[string]int),
+	}
+	for s, site := range h.topo {
+		for c, cl := range site {
+			if len(cl) > 0 {
+				h.clusterMgr[[2]int{s, c}] = cl[0]
+			}
+		}
+		if len(site) > 0 && len(site[0]) > 0 {
+			h.siteMgr[s] = site[0][0]
+		}
+	}
+	if len(h.topo) > 0 && len(h.topo[0]) > 0 && len(h.topo[0][0]) > 0 {
+		h.domainMgr = h.topo[0][0][0]
+	}
+	return h
+}
+
+// Start spawns every manager process.
+func (h *Hierarchy) Start() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for sc, mgr := range h.clusterMgr {
+		h.spawnClusterLocked(sc[0], sc[1], mgr)
+	}
+	for s, mgr := range h.siteMgr {
+		h.spawnSiteLocked(s, mgr)
+	}
+	if h.domainMgr != "" {
+		h.spawnDomainLocked(h.domainMgr)
+	}
+}
+
+// Stop retires all manager processes at their next tick.
+func (h *Hierarchy) Stop() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.stopped = true
+	for k := range h.gens {
+		h.gens[k]++
+	}
+}
+
+// ClusterManager returns the manager node of cluster (site, c).
+func (h *Hierarchy) ClusterManager(site, c int) (string, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	m, ok := h.clusterMgr[[2]int{site, c}]
+	return m, ok
+}
+
+// SiteManager returns the manager node of the site.
+func (h *Hierarchy) SiteManager(site int) (string, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	m, ok := h.siteMgr[site]
+	return m, ok
+}
+
+// DomainManager returns the domain manager node.
+func (h *Hierarchy) DomainManager() string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.domainMgr
+}
+
+// ManagerOf resolves a component key to its manager node.
+func (h *Hierarchy) ManagerOf(component string) (string, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if component == DomainKey {
+		return h.domainMgr, h.domainMgr != ""
+	}
+	var s, c int
+	if n, _ := fmt.Sscanf(component, "cluster:%d:%d", &s, &c); n == 2 {
+		m, ok := h.clusterMgr[[2]int{s, c}]
+		return m, ok
+	}
+	if n, _ := fmt.Sscanf(component, "site:%d", &s); n == 1 {
+		m, ok := h.siteMgr[s]
+		return m, ok
+	}
+	return "", false
+}
+
+// Members returns the current nodes of a cluster.
+func (h *Hierarchy) Members(site, c int) []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if site >= len(h.topo) || c >= len(h.topo[site]) {
+		return nil
+	}
+	return append([]string(nil), h.topo[site][c]...)
+}
+
+// Topo returns a copy of the current (post-failure) topology.
+func (h *Hierarchy) Topo() Topology {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.topo.Clone()
+}
+
+// emit delivers an event outside the lock.
+func (h *Hierarchy) emit(evs []Event) {
+	if h.notify == nil {
+		return
+	}
+	for _, e := range evs {
+		h.notify(e)
+	}
+}
+
+// genOK reports whether the proc generation is still current.
+func (h *Hierarchy) genOK(key string, gen int) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return !h.stopped && h.gens[key] == gen
+}
+
+// ---------------------------------------------------------------------
+// Manager processes.
+
+// spawnClusterLocked starts the cluster manager proc and, when the
+// cluster has a second node, the paper's pre-designated backup manager:
+// a watchdog on that node which examines the manager each period and
+// takes over its roles when it stops responding (§5.1: "a backup
+// manager within the same hierarchy releases the manager and takes
+// over").  Caller holds mu.
+func (h *Hierarchy) spawnClusterLocked(s, c int, mgr string) {
+	key := ClusterKey(s, c)
+	gen := h.gens[key]
+	ag := h.agents[mgr]
+	if ag == nil {
+		return
+	}
+	ag.Station().Sched().Spawn(fmt.Sprintf("nas.mgr:%s@%s", key, mgr), func(p sched.Proc) {
+		h.runCluster(p, s, c, mgr, key, gen)
+	})
+	members := h.topo[s][c]
+	var backup string
+	for _, n := range members {
+		if n != mgr {
+			backup = n
+			break
+		}
+	}
+	bag := h.agents[backup]
+	if bag == nil {
+		return
+	}
+	bag.Station().Sched().Spawn(fmt.Sprintf("nas.backup:%s@%s", key, backup), func(p sched.Proc) {
+		h.runBackup(p, bag, mgr, key, gen)
+	})
+}
+
+// runBackup is the backup manager's watchdog loop.
+func (h *Hierarchy) runBackup(p sched.Proc, ag *Agent, mgr, key string, gen int) {
+	for {
+		if !h.genOK(key, gen) || !ag.Alive() {
+			return
+		}
+		p.Sleep(h.cfg.MonitorPeriod)
+		if !h.genOK(key, gen) || !ag.Alive() {
+			return
+		}
+		if !ag.Ping(p, mgr) {
+			h.managerNodeFailed(mgr)
+			return // reassignment bumped the generation
+		}
+	}
+}
+
+func (h *Hierarchy) runCluster(p sched.Proc, s, c int, mgr, key string, gen int) {
+	ag := h.agents[mgr]
+	for {
+		if !h.genOK(key, gen) || !ag.Alive() {
+			return
+		}
+		// Poll every member; the manager reads itself locally (NA and
+		// PubOA share a JVM in the paper).
+		var snaps []params.Snapshot
+		var failed []string
+		for _, n := range h.Members(s, c) {
+			if n == mgr {
+				snaps = append(snaps, ag.Latest())
+				continue
+			}
+			snap, err := ag.FetchSnapshot(p, n)
+			if err != nil {
+				failed = append(failed, n)
+				continue
+			}
+			snaps = append(snaps, snap)
+		}
+		ag.SetAgg(key, params.Average(snaps...))
+		for _, n := range failed {
+			h.memberFailed(s, c, n)
+		}
+		// Upward examination: is my site manager still alive?
+		if sm, ok := h.SiteManager(s); ok && sm != mgr && !ag.Ping(p, sm) {
+			h.managerNodeFailed(sm)
+		}
+		p.Sleep(h.cfg.MonitorPeriod)
+	}
+}
+
+// spawnSiteLocked starts the site manager proc (caller holds mu).
+func (h *Hierarchy) spawnSiteLocked(s int, mgr string) {
+	key := SiteKey(s)
+	gen := h.gens[key]
+	ag := h.agents[mgr]
+	if ag == nil {
+		return
+	}
+	ag.Station().Sched().Spawn(fmt.Sprintf("nas.mgr:%s@%s", key, mgr), func(p sched.Proc) {
+		h.runSite(p, s, mgr, key, gen)
+	})
+}
+
+func (h *Hierarchy) runSite(p sched.Proc, s int, mgr, key string, gen int) {
+	ag := h.agents[mgr]
+	for {
+		if !h.genOK(key, gen) || !ag.Alive() {
+			return
+		}
+		var aggs []params.Snapshot
+		nClusters := len(h.Topo()[s])
+		for c := 0; c < nClusters; c++ {
+			cm, ok := h.ClusterManager(s, c)
+			if !ok {
+				continue
+			}
+			snap, err := ag.FetchAgg(p, cm, ClusterKey(s, c))
+			if err != nil {
+				if cm != mgr && !ag.Ping(p, cm) {
+					h.managerNodeFailed(cm)
+				}
+				continue
+			}
+			aggs = append(aggs, snap)
+		}
+		if len(aggs) > 0 {
+			ag.SetAgg(key, params.Average(aggs...))
+		}
+		// Upward examination of the domain manager.
+		if dm := h.DomainManager(); dm != "" && dm != mgr && !ag.Ping(p, dm) {
+			h.managerNodeFailed(dm)
+		}
+		p.Sleep(h.cfg.MonitorPeriod)
+	}
+}
+
+// spawnDomainLocked starts the domain manager proc (caller holds mu).
+func (h *Hierarchy) spawnDomainLocked(mgr string) {
+	gen := h.gens[DomainKey]
+	ag := h.agents[mgr]
+	if ag == nil {
+		return
+	}
+	ag.Station().Sched().Spawn("nas.mgr:domain@"+mgr, func(p sched.Proc) {
+		h.runDomain(p, mgr, gen)
+	})
+}
+
+func (h *Hierarchy) runDomain(p sched.Proc, mgr string, gen int) {
+	ag := h.agents[mgr]
+	for {
+		if !h.genOK(DomainKey, gen) || !ag.Alive() {
+			return
+		}
+		var aggs []params.Snapshot
+		nSites := len(h.Topo())
+		for s := 0; s < nSites; s++ {
+			sm, ok := h.SiteManager(s)
+			if !ok {
+				continue
+			}
+			snap, err := ag.FetchAgg(p, sm, SiteKey(s))
+			if err != nil {
+				if sm != mgr && !ag.Ping(p, sm) {
+					h.managerNodeFailed(sm)
+				}
+				continue
+			}
+			aggs = append(aggs, snap)
+		}
+		if len(aggs) > 0 {
+			ag.SetAgg(DomainKey, params.Average(aggs...))
+		}
+		p.Sleep(h.cfg.MonitorPeriod)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Failure handling and manager promotion.
+
+// memberFailed handles the death of a non-manager cluster member: "If a
+// non-manager ... node of a cluster failed, then the manager of this
+// cluster simply releases this node" (§5.1).
+func (h *Hierarchy) memberFailed(s, c int, node string) {
+	h.mu.Lock()
+	evs := h.removeMemberLocked(s, c, node)
+	h.mu.Unlock()
+	h.emit(evs)
+}
+
+// removeMemberLocked drops node from one cluster; caller holds mu.
+func (h *Hierarchy) removeMemberLocked(s, c int, node string) []Event {
+	if s >= len(h.topo) || c >= len(h.topo[s]) {
+		return nil
+	}
+	cl := h.topo[s][c]
+	for i, n := range cl {
+		if n == node {
+			h.topo[s][c] = append(cl[:i], cl[i+1:]...)
+			return []Event{{Kind: EventNodeFailed, Component: ClusterKey(s, c), Node: node}}
+		}
+	}
+	return nil
+}
+
+// managerNodeFailed handles the death of a node holding one or more
+// manager roles: the backup (next member of its cluster) takes over, and
+// higher-level roles cascade to the new cluster managers (§5.1 rule 2).
+func (h *Hierarchy) managerNodeFailed(node string) {
+	h.mu.Lock()
+	evs := h.reassignLocked(node, true)
+	h.mu.Unlock()
+	h.emit(evs)
+}
+
+// RemoveNode voluntarily releases a node (freeNode on a live node): same
+// role reassignment as a failure, but no failure event.
+func (h *Hierarchy) RemoveNode(node string) {
+	h.mu.Lock()
+	evs := h.reassignLocked(node, false)
+	h.mu.Unlock()
+	h.emit(evs)
+}
+
+// reassignLocked removes node everywhere and re-elects managers.  Caller
+// holds mu.
+func (h *Hierarchy) reassignLocked(node string, failed bool) []Event {
+	var evs []Event
+	found := false
+	for s := range h.topo {
+		for c := range h.topo[s] {
+			cl := h.topo[s][c]
+			for i, n := range cl {
+				if n != node {
+					continue
+				}
+				found = true
+				h.topo[s][c] = append(cl[:i], cl[i+1:]...)
+				if failed {
+					evs = append(evs, Event{Kind: EventNodeFailed, Component: ClusterKey(s, c), Node: node})
+				}
+			}
+		}
+	}
+	if !found {
+		return nil // already handled by a concurrent detection
+	}
+	// Re-elect any role the node held.
+	for sc, mgr := range h.clusterMgr {
+		if mgr != node {
+			continue
+		}
+		s, c := sc[0], sc[1]
+		key := ClusterKey(s, c)
+		h.gens[key]++
+		members := h.topo[s][c]
+		if len(members) == 0 {
+			delete(h.clusterMgr, sc)
+			continue
+		}
+		next := members[0] // the paper's pre-designated backup manager
+		h.clusterMgr[sc] = next
+		h.spawnClusterLocked(s, c, next)
+		evs = append(evs, Event{Kind: EventManagerChanged, Component: key, Node: next, Old: node})
+	}
+	for s, mgr := range h.siteMgr {
+		if mgr != node {
+			continue
+		}
+		key := SiteKey(s)
+		h.gens[key]++
+		next := h.firstClusterManagerLocked(s)
+		if next == "" {
+			delete(h.siteMgr, s)
+			continue
+		}
+		h.siteMgr[s] = next
+		h.spawnSiteLocked(s, next)
+		evs = append(evs, Event{Kind: EventManagerChanged, Component: key, Node: next, Old: node})
+	}
+	if h.domainMgr == node {
+		h.gens[DomainKey]++
+		next := ""
+		for s := range h.topo {
+			if m, ok := h.siteMgr[s]; ok {
+				next = m
+				break
+			}
+		}
+		h.domainMgr = next
+		if next != "" {
+			h.spawnDomainLocked(next)
+			evs = append(evs, Event{Kind: EventManagerChanged, Component: DomainKey, Node: next, Old: node})
+		}
+	}
+	return evs
+}
+
+// firstClusterManagerLocked picks the site's new manager from its cluster
+// managers (only a cluster manager can be a site manager).
+func (h *Hierarchy) firstClusterManagerLocked(s int) string {
+	if s >= len(h.topo) {
+		return ""
+	}
+	for c := range h.topo[s] {
+		if m, ok := h.clusterMgr[[2]int{s, c}]; ok {
+			return m
+		}
+	}
+	return ""
+}

@@ -1,0 +1,107 @@
+package nas
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"jsymphony/internal/params"
+)
+
+// History implements the measurement history the paper leaves open
+// (§5.1: "currently we do not maintain a history of measurements,
+// although, it would be easy to support it"): a bounded ring of
+// timestamped snapshots kept by every agent, cheap enough that "storage
+// size for these data is kept reasonably small" still holds.
+type History struct {
+	cap   int
+	ring  []HistoryEntry
+	next  int
+	count int
+}
+
+// HistoryEntry is one retained measurement.
+type HistoryEntry struct {
+	At   time.Duration // scheduler time of the sample
+	Snap params.Snapshot
+}
+
+// NewHistory returns a ring retaining the last cap samples (cap >= 1).
+func NewHistory(cap int) *History {
+	if cap < 1 {
+		cap = 1
+	}
+	return &History{cap: cap, ring: make([]HistoryEntry, cap)}
+}
+
+// Add appends a sample, evicting the oldest when full.
+func (h *History) Add(at time.Duration, snap params.Snapshot) {
+	h.ring[h.next] = HistoryEntry{At: at, Snap: snap}
+	h.next = (h.next + 1) % h.cap
+	if h.count < h.cap {
+		h.count++
+	}
+}
+
+// Len reports the number of retained samples.
+func (h *History) Len() int { return h.count }
+
+// Entries returns the retained samples oldest-first.
+func (h *History) Entries() []HistoryEntry {
+	out := make([]HistoryEntry, 0, h.count)
+	start := h.next - h.count
+	for i := 0; i < h.count; i++ {
+		out = append(out, h.ring[((start+i)%h.cap+h.cap)%h.cap])
+	}
+	return out
+}
+
+// Series extracts the time series of one numeric parameter, oldest
+// first; samples missing the parameter are skipped.
+func (h *History) Series(id params.ID) (at []time.Duration, vals []float64) {
+	for _, e := range h.Entries() {
+		if v, ok := e.Snap.Get(id); ok && v.Kind == params.Number {
+			at = append(at, e.At)
+			vals = append(vals, v.Num)
+		}
+	}
+	return at, vals
+}
+
+// Stats summarizes one numeric parameter over the retained window.
+func (h *History) Stats(id params.ID) (min, max, mean float64, n int) {
+	_, vals := h.Series(id)
+	if len(vals) == 0 {
+		return 0, 0, 0, 0
+	}
+	min, max = vals[0], vals[0]
+	sum := 0.0
+	for _, v := range vals {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+		sum += v
+	}
+	return min, max, sum / float64(len(vals)), len(vals)
+}
+
+// Format renders one parameter's series for shell display.
+func (h *History) Format(id params.ID) string {
+	at, vals := h.Series(id)
+	if len(vals) == 0 {
+		return fmt.Sprintf("(no history for %s)\n", id)
+	}
+	var b strings.Builder
+	for i := range vals {
+		fmt.Fprintf(&b, "%12s  %g\n", at[i].Round(time.Millisecond), vals[i])
+	}
+	min, max, mean, n := h.Stats(id)
+	fmt.Fprintf(&b, "samples=%d min=%g max=%g mean=%.3g\n", n, min, max, mean)
+	return b.String()
+}
+
+// DefaultHistoryDepth is how many samples agents retain.
+const DefaultHistoryDepth = 32

@@ -1,0 +1,106 @@
+package params
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Value is the value of one system parameter: either a number or a string,
+// mirroring the paper's "number_string" constraint operand (§4.2).
+//
+// The zero Value is the number 0.
+type Value struct {
+	Kind Kind
+	Num  float64
+	Str  string
+}
+
+// Float returns a numeric Value.
+func Float(f float64) Value { return Value{Kind: Number, Num: f} }
+
+// Int returns a numeric Value from an integer.
+func Int(i int) Value { return Value{Kind: Number, Num: float64(i)} }
+
+// Text returns a string Value.
+func Text(s string) Value { return Value{Kind: String, Str: s} }
+
+// Parse converts an operand as it would appear in JavaSymphony source —
+// a floating point / integer literal or an arbitrary string — into a
+// Value.  Anything that does not parse as a number is a string.
+func Parse(s string) Value {
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return Float(f)
+	}
+	return Text(s)
+}
+
+// String renders the value the way JS-Shell prints it.
+func (v Value) String() string {
+	if v.Kind == String {
+		return v.Str
+	}
+	return strconv.FormatFloat(v.Num, 'g', -1, 64)
+}
+
+// Op is a relational operator usable in a constraint.  The paper admits
+// "arbitrary relational operators"; the set below is total for numbers,
+// while ordering operators on strings compare lexicographically.
+type Op string
+
+const (
+	EQ Op = "=="
+	NE Op = "!="
+	LT Op = "<"
+	LE Op = "<="
+	GT Op = ">"
+	GE Op = ">="
+)
+
+// ParseOp validates an operator string.
+func ParseOp(s string) (Op, error) {
+	switch Op(s) {
+	case EQ, NE, LT, LE, GT, GE:
+		return Op(s), nil
+	}
+	return "", fmt.Errorf("params: unknown relational operator %q", s)
+}
+
+// Compare evaluates "v op w".  Comparing a number against a string (or
+// vice versa) never matches except under NE, which reflects how a
+// mistyped constraint should fail closed rather than admit every node.
+func Compare(v Value, op Op, w Value) bool {
+	if v.Kind != w.Kind {
+		return op == NE
+	}
+	var c int
+	if v.Kind == Number {
+		switch {
+		case v.Num < w.Num:
+			c = -1
+		case v.Num > w.Num:
+			c = 1
+		}
+	} else {
+		switch {
+		case v.Str < w.Str:
+			c = -1
+		case v.Str > w.Str:
+			c = 1
+		}
+	}
+	switch op {
+	case EQ:
+		return c == 0
+	case NE:
+		return c != 0
+	case LT:
+		return c < 0
+	case LE:
+		return c <= 0
+	case GT:
+		return c > 0
+	case GE:
+		return c >= 0
+	}
+	return false
+}

@@ -1,0 +1,169 @@
+package params
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParse(t *testing.T) {
+	tests := []struct {
+		in   string
+		want Value
+	}{
+		{"10", Float(10)},
+		{"0.3", Float(0.3)},
+		{"-7.5", Float(-7.5)},
+		{"1e3", Float(1000)},
+		{"milena", Text("milena")},
+		{"Sun Solaris 7", Text("Sun Solaris 7")},
+		{"", Text("")},
+		{"10MB", Text("10MB")},
+	}
+	for _, tt := range tests {
+		if got := Parse(tt.in); got != tt.want {
+			t.Errorf("Parse(%q) = %#v, want %#v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestParseOp(t *testing.T) {
+	for _, s := range []string{"==", "!=", "<", "<=", ">", ">="} {
+		op, err := ParseOp(s)
+		if err != nil || string(op) != s {
+			t.Errorf("ParseOp(%q) = %q, %v", s, op, err)
+		}
+	}
+	for _, s := range []string{"=", "<>", "", "eq", "=<"} {
+		if _, err := ParseOp(s); err == nil {
+			t.Errorf("ParseOp(%q) accepted invalid operator", s)
+		}
+	}
+}
+
+func TestCompareNumbers(t *testing.T) {
+	tests := []struct {
+		a    float64
+		op   Op
+		b    float64
+		want bool
+	}{
+		{5, LT, 10, true},
+		{10, LT, 5, false},
+		{5, LE, 5, true},
+		{5, GE, 5, true},
+		{5, GT, 5, false},
+		{50, GE, 50, true},
+		{9.99, LE, 10, true},
+		{0.3, GE, 0.3, true},
+		{1, EQ, 1, true},
+		{1, NE, 1, false},
+		{1, NE, 2, true},
+	}
+	for _, tt := range tests {
+		if got := Compare(Float(tt.a), tt.op, Float(tt.b)); got != tt.want {
+			t.Errorf("Compare(%v %s %v) = %v, want %v", tt.a, tt.op, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestCompareStrings(t *testing.T) {
+	// The paper's example: NODE_NAME != "milena".
+	if !Compare(Text("rachel"), NE, Text("milena")) {
+		t.Error(`"rachel" != "milena" should hold`)
+	}
+	if Compare(Text("milena"), NE, Text("milena")) {
+		t.Error(`"milena" != "milena" should not hold`)
+	}
+	if !Compare(Text("abc"), LT, Text("abd")) {
+		t.Error("lexicographic < failed")
+	}
+}
+
+func TestCompareMixedKinds(t *testing.T) {
+	// Mixed-kind comparisons fail closed except for NE.
+	for _, op := range []Op{EQ, LT, LE, GT, GE} {
+		if Compare(Float(1), op, Text("1")) {
+			t.Errorf("Compare(number %s string) must be false", op)
+		}
+	}
+	if !Compare(Float(1), NE, Text("1")) {
+		t.Error("Compare(number != string) must be true")
+	}
+}
+
+// Property: for numbers, exactly one of <, ==, > holds (trichotomy), and
+// the derived operators are consistent with it.
+func TestCompareTrichotomy(t *testing.T) {
+	f := func(a, b float64) bool {
+		va, vb := Float(a), Float(b)
+		lt := Compare(va, LT, vb)
+		eq := Compare(va, EQ, vb)
+		gt := Compare(va, GT, vb)
+		n := 0
+		for _, x := range []bool{lt, eq, gt} {
+			if x {
+				n++
+			}
+		}
+		if n != 1 {
+			return false
+		}
+		return Compare(va, LE, vb) == (lt || eq) &&
+			Compare(va, GE, vb) == (gt || eq) &&
+			Compare(va, NE, vb) == !eq
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Compare is antisymmetric: a < b iff b > a.
+func TestCompareAntisymmetry(t *testing.T) {
+	f := func(a, b float64) bool {
+		return Compare(Float(a), LT, Float(b)) == Compare(Float(b), GT, Float(a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Parse round-trips through String for values Parse classifies
+// as strings, and numerically for numbers.
+func TestParseStringRoundTrip(t *testing.T) {
+	f := func(s string) bool {
+		v := Parse(s)
+		if v.Kind == String {
+			return v.Str == s
+		}
+		// A numeric parse must re-parse to the same number.
+		return Parse(v.String()).Num == v.Num
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValueString(t *testing.T) {
+	if got := Float(2.5).String(); got != "2.5" {
+		t.Errorf("Float(2.5).String() = %q", got)
+	}
+	if got := Int(7).String(); got != "7" {
+		t.Errorf("Int(7).String() = %q", got)
+	}
+	if got := Text("x y").String(); got != "x y" {
+		t.Errorf("Text.String() = %q", got)
+	}
+}
+
+func BenchmarkCompareNumber(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]Value, 256)
+	for i := range vals {
+		vals[i] = Float(rng.Float64() * 100)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compare(vals[i%256], LE, vals[(i+7)%256])
+	}
+}

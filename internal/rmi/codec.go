@@ -1,0 +1,47 @@
+package rmi
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// Marshal gob-encodes v.  JavaSymphony requires "all objects that can be
+// created remotely to be serializable" (§4.3); gob plays the role of Java
+// object serialization.  Concrete types carried inside interface fields
+// must be registered with RegisterType first, exactly as Java requires
+// Serializable implementations on the classpath.
+func Marshal(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("rmi: marshal: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// MustMarshal is Marshal for values whose encodability is a program
+// invariant (internal protocol structs).
+func MustMarshal(v any) []byte {
+	b, err := Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Unmarshal gob-decodes data into v (a pointer).
+func Unmarshal(data []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
+		return fmt.Errorf("rmi: unmarshal: %w", err)
+	}
+	return nil
+}
+
+// RegisterType makes a concrete type transmissible inside interface-typed
+// fields (method parameters and results are []any on the wire).
+func RegisterType(v any) { gob.Register(v) }
+
+func init() {
+	// The wire message itself crosses the TCP transport gob-encoded.
+	gob.Register(&Message{})
+}

@@ -1,0 +1,76 @@
+package rmi
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"jsymphony/internal/sched"
+)
+
+func TestLossRateDropsSomeCalls(t *testing.T) {
+	s := sched.Real()
+	net := NewMem(s, 0)
+	epA, _ := net.Attach("a")
+	epB, _ := net.Attach("b")
+	a := NewStation(s, epA)
+	b := NewStation(s, epB)
+	b.Register("echo", func(p sched.Proc, from, method string, body []byte) ([]byte, error) {
+		return body, nil
+	})
+	a.Start()
+	b.Start()
+	defer a.Close()
+	defer b.Close()
+
+	net.SetLossRate(0.4)
+	p := sched.RealProc(s)
+	okCount, timeouts := 0, 0
+	for i := 0; i < 60; i++ {
+		_, err := a.Call(p, "b", "echo", "m", nil, 30*time.Millisecond)
+		switch {
+		case err == nil:
+			okCount++
+		case errors.Is(err, ErrTimeout):
+			timeouts++
+		default:
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	if okCount == 0 {
+		t.Fatal("every call lost at 40% loss")
+	}
+	if timeouts == 0 {
+		t.Fatal("no call lost at 40% loss")
+	}
+
+	// Loss off: everything goes through again.
+	net.SetLossRate(0)
+	for i := 0; i < 10; i++ {
+		if _, err := a.Call(p, "b", "echo", "m", nil, time.Second); err != nil {
+			t.Fatalf("call with loss disabled: %v", err)
+		}
+	}
+}
+
+func TestLossRateClamped(t *testing.T) {
+	s := sched.Real()
+	net := NewMem(s, 0)
+	net.SetLossRate(-1) // clamps to 0
+	net.SetLossRate(2)  // clamps to 1: every message drops
+	epA, _ := net.Attach("a")
+	epB, _ := net.Attach("b")
+	a := NewStation(s, epA)
+	b := NewStation(s, epB)
+	b.Register("echo", func(p sched.Proc, from, method string, body []byte) ([]byte, error) {
+		return nil, nil
+	})
+	a.Start()
+	b.Start()
+	defer a.Close()
+	defer b.Close()
+	p := sched.RealProc(s)
+	if _, err := a.Call(p, "b", "echo", "m", nil, 20*time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("call at 100%% loss: %v", err)
+	}
+}

@@ -1,0 +1,362 @@
+// Package rmi is the remote-method-invocation substrate JavaSymphony is
+// built on.
+//
+// The paper implements JRS directly on Java/RMI (§5): AppOAs and PubOAs
+// exchange synchronous RMI calls, and JavaSymphony builds asynchronous
+// and one-sided invocation on top by dedicating a thread per outstanding
+// call.  This package reproduces that layer from scratch:
+//
+//   - Message: the wire unit (request / response / one-way), gob-encoded
+//     bodies.
+//   - Network / Endpoint: pluggable transports — in-memory (real or
+//     virtual time), the simulated fabric of internal/simnet (virtual
+//     time, with CPU serialization costs and NIC/link delays), and real
+//     TCP over loopback.
+//   - Station: the per-node protocol engine — service registration,
+//     reflection-free dispatch to handler functions, request/response
+//     matching, timeouts, and wire statistics.
+//
+// Everything above this package (agents, virtual architectures, the
+// object system) addresses peers only by node name through a Station.
+package rmi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"jsymphony/internal/sched"
+)
+
+// Kind discriminates wire messages.
+type Kind uint8
+
+const (
+	// KindRequest expects a KindResponse with the same ID.
+	KindRequest Kind = iota + 1
+	// KindResponse carries a result or error back to the caller.
+	KindResponse
+	// KindOneWay is fire-and-forget: no response is ever produced
+	// (JavaSymphony's oinvoke, §4.5).
+	KindOneWay
+)
+
+// Message is the wire unit exchanged between stations.
+type Message struct {
+	From    string // sender node name
+	To      string // receiver node name
+	Kind    Kind
+	ID      uint64 // request/response correlation
+	Service string // target service ("puboa", "nas", ...)
+	Method  string // target method within the service
+	Body    []byte // gob-encoded payload
+	Pad     int    // modeled payload bytes not materialized in Body
+	Err     string // non-empty on error responses
+}
+
+// wireSize estimates the on-the-wire size of m for transports that model
+// transmission cost and for statistics.  Pad lets a caller model a large
+// transfer (a Java archive, a migrated object's heap) without allocating
+// it: simulating transports charge for the bytes, real transports ship
+// only the integer.
+func (m *Message) wireSize() int {
+	return len(m.Body) + m.Pad + len(m.Service) + len(m.Method) + len(m.From) + len(m.To) + 40
+}
+
+// Network is a fabric stations attach to.
+type Network interface {
+	// Attach creates the endpoint for the named node.  Attaching the
+	// same name twice is an error.
+	Attach(node string) (Endpoint, error)
+}
+
+// Endpoint is one node's connection to a network.
+type Endpoint interface {
+	// Node returns the endpoint's node name.
+	Node() string
+	// Send transmits msg to the named node.  p is the sending proc;
+	// simulating transports charge serialization CPU to it (it may be
+	// nil on real transports).  Send never blocks in virtual time
+	// beyond the modelled CPU cost.
+	Send(p sched.Proc, to string, msg *Message) error
+	// Queue is the endpoint's incoming message queue.
+	Queue() sched.Queue
+	// Close detaches the endpoint.
+	Close() error
+}
+
+// Errors returned by Station operations.
+var (
+	ErrTimeout   = errors.New("rmi: call timed out")
+	ErrClosed    = errors.New("rmi: station closed")
+	ErrNoService = errors.New("rmi: no such service")
+	ErrNoRoute   = errors.New("rmi: no route to node")
+)
+
+// RemoteError wraps an error string produced by a remote handler.
+type RemoteError struct {
+	Node string // node that produced the error
+	Msg  string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("rmi: remote error from %s: %s", e.Node, e.Msg)
+}
+
+// IsRemote reports whether err (or anything it wraps) is a RemoteError
+// with the given message, used by layers that tunnel typed conditions.
+func IsRemote(err error, msg string) bool {
+	var re *RemoteError
+	return errors.As(err, &re) && re.Msg == msg
+}
+
+// Handler serves one service's methods.  It runs on its own proc; it may
+// block, sleep, and issue nested calls.  The returned bytes become the
+// response body; a non-nil error is transported as a RemoteError.
+type Handler func(p sched.Proc, from, method string, body []byte) ([]byte, error)
+
+// Station is the per-node RMI engine: it owns the endpoint, dispatches
+// inbound requests to registered services, and correlates responses to
+// outstanding calls.
+type Station struct {
+	s  sched.Sched
+	ep Endpoint
+
+	mu       sync.Mutex
+	services map[string]Handler
+	pending  map[uint64]sched.Queue
+	nextID   uint64
+	closed   bool
+	started  bool
+
+	stats Stats
+}
+
+// NewStation wraps an endpoint.  Call Register for each service, then
+// Start.
+func NewStation(s sched.Sched, ep Endpoint) *Station {
+	return &Station{
+		s:        s,
+		ep:       ep,
+		services: make(map[string]Handler),
+		pending:  make(map[uint64]sched.Queue),
+	}
+}
+
+// Node returns the station's node name.
+func (st *Station) Node() string { return st.ep.Node() }
+
+// Sched returns the scheduler the station runs on.
+func (st *Station) Sched() sched.Sched { return st.s }
+
+// Stats returns a snapshot of the station's wire statistics.
+func (st *Station) Stats() StatsSnapshot { return st.stats.snapshot() }
+
+// Register installs h as the handler for the named service.  Services
+// may be registered at any time (applications attach their object agents
+// to an already-running node); registering a live name twice panics.
+func (st *Station) Register(service string, h Handler) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, dup := st.services[service]; dup {
+		panic("rmi: duplicate service " + service)
+	}
+	st.services[service] = h
+}
+
+// Unregister removes a service; later requests to it fail with
+// ErrNoService.
+func (st *Station) Unregister(service string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	delete(st.services, service)
+}
+
+// Start spawns the dispatch loop.
+func (st *Station) Start() {
+	st.mu.Lock()
+	if st.started {
+		st.mu.Unlock()
+		panic("rmi: Start called twice")
+	}
+	st.started = true
+	st.mu.Unlock()
+	st.s.Spawn("rmi:"+st.Node(), st.dispatch)
+}
+
+// Close shuts the station down: the endpoint detaches, the dispatch loop
+// drains and exits, and outstanding calls fail with ErrClosed.
+func (st *Station) Close() {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return
+	}
+	st.closed = true
+	pend := st.pending
+	st.pending = make(map[uint64]sched.Queue)
+	st.mu.Unlock()
+	st.ep.Close()
+	st.ep.Queue().Close()
+	for _, q := range pend {
+		q.Close()
+	}
+}
+
+// dispatch is the station's receive loop.
+func (st *Station) dispatch(p sched.Proc) {
+	for {
+		v, ok := p.Recv(st.ep.Queue())
+		if !ok {
+			return
+		}
+		msg, ok := v.(*Message)
+		if !ok {
+			continue // foreign traffic on a shared queue; not ours
+		}
+		switch msg.Kind {
+		case KindRequest, KindOneWay:
+			st.stats.served.Add(1)
+			st.stats.bytesIn.Add(int64(msg.wireSize()))
+			st.serve(msg)
+		case KindResponse:
+			st.stats.bytesIn.Add(int64(msg.wireSize()))
+			st.mu.Lock()
+			q, ok := st.pending[msg.ID]
+			if ok {
+				delete(st.pending, msg.ID)
+			}
+			st.mu.Unlock()
+			if !ok {
+				st.stats.stale.Add(1)
+				continue
+			}
+			q.Put(msg, 0)
+		}
+	}
+}
+
+// serve runs the handler for one inbound request on its own proc — the
+// paper's "one thread for every asynchronous method invocation" (§5.2),
+// generalized to every request so a slow method never blocks the node.
+func (st *Station) serve(msg *Message) {
+	st.mu.Lock()
+	h := st.services[msg.Service]
+	st.mu.Unlock()
+	st.s.Spawn(fmt.Sprintf("rmi:%s/%s.%s", st.Node(), msg.Service, msg.Method), func(p sched.Proc) {
+		var body []byte
+		var err error
+		if h == nil {
+			err = ErrNoService
+		} else {
+			body, err = h(p, msg.From, msg.Method, msg.Body)
+		}
+		if msg.Kind == KindOneWay {
+			return
+		}
+		resp := &Message{
+			From:    st.Node(),
+			To:      msg.From,
+			Kind:    KindResponse,
+			ID:      msg.ID,
+			Service: msg.Service,
+			Method:  msg.Method,
+			Body:    body,
+		}
+		if err != nil {
+			resp.Err = err.Error()
+		}
+		st.stats.bytesOut.Add(int64(resp.wireSize()))
+		// Best effort: the caller times out if the response is lost.
+		_ = st.ep.Send(p, msg.From, resp)
+	})
+}
+
+// Call performs a synchronous invocation of service.method on node `to`
+// and waits up to timeout for the response (sinvoke underneath; ainvoke
+// is built by calling Call from a dedicated proc).
+func (st *Station) Call(p sched.Proc, to, service, method string, body []byte, timeout time.Duration) ([]byte, error) {
+	return st.CallPadded(p, to, service, method, body, 0, timeout)
+}
+
+// CallPadded is Call with pad extra modeled payload bytes (see
+// Message.Pad).
+func (st *Station) CallPadded(p sched.Proc, to, service, method string, body []byte, pad int, timeout time.Duration) ([]byte, error) {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return nil, ErrClosed
+	}
+	st.nextID++
+	id := st.nextID
+	reply := st.s.NewQueue(fmt.Sprintf("reply:%s:%d", st.Node(), id))
+	st.pending[id] = reply
+	st.mu.Unlock()
+
+	msg := &Message{
+		From:    st.Node(),
+		To:      to,
+		Kind:    KindRequest,
+		ID:      id,
+		Service: service,
+		Method:  method,
+		Body:    body,
+		Pad:     pad,
+	}
+	st.stats.calls.Add(1)
+	st.stats.bytesOut.Add(int64(msg.wireSize()))
+	if err := st.ep.Send(p, to, msg); err != nil {
+		st.mu.Lock()
+		delete(st.pending, id)
+		st.mu.Unlock()
+		return nil, err
+	}
+
+	v, ok := p.RecvTimeout(reply, timeout)
+	if !ok {
+		st.mu.Lock()
+		_, stillPending := st.pending[id]
+		delete(st.pending, id)
+		closed := st.closed
+		st.mu.Unlock()
+		if closed && !stillPending {
+			return nil, ErrClosed
+		}
+		st.stats.timeouts.Add(1)
+		return nil, fmt.Errorf("%w: %s.%s on %s after %v", ErrTimeout, service, method, to, timeout)
+	}
+	resp := v.(*Message)
+	if resp.Err != "" {
+		if resp.Err == ErrNoService.Error() {
+			return nil, fmt.Errorf("%w: %s on %s", ErrNoService, service, to)
+		}
+		return nil, &RemoteError{Node: to, Msg: resp.Err}
+	}
+	return resp.Body, nil
+}
+
+// Post performs a one-sided invocation: the message is sent and forgotten
+// (oinvoke, §4.5 — "no need to transfer back a result").
+func (st *Station) Post(p sched.Proc, to, service, method string, body []byte) error {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return ErrClosed
+	}
+	st.nextID++
+	id := st.nextID
+	st.mu.Unlock()
+	msg := &Message{
+		From:    st.Node(),
+		To:      to,
+		Kind:    KindOneWay,
+		ID:      id,
+		Service: service,
+		Method:  method,
+		Body:    body,
+	}
+	st.stats.oneway.Add(1)
+	st.stats.bytesOut.Add(int64(msg.wireSize()))
+	return st.ep.Send(p, to, msg)
+}

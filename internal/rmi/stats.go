@@ -1,0 +1,50 @@
+package rmi
+
+import "sync/atomic"
+
+// Stats accumulates a station's wire counters.  All fields are updated
+// atomically; read them through snapshot.
+type Stats struct {
+	calls    atomic.Int64 // synchronous/async requests sent
+	oneway   atomic.Int64 // one-way messages sent
+	served   atomic.Int64 // requests served (incl. one-way)
+	timeouts atomic.Int64 // calls that timed out
+	stale    atomic.Int64 // responses that arrived after their call gave up
+	bytesOut atomic.Int64
+	bytesIn  atomic.Int64
+}
+
+// StatsSnapshot is a consistent-enough copy of a station's counters.
+type StatsSnapshot struct {
+	CallsSent  int64 // requests sent expecting a response
+	OneWaySent int64 // one-way messages sent
+	Served     int64 // inbound requests dispatched to handlers
+	Timeouts   int64 // calls abandoned on timeout
+	Stale      int64 // late responses dropped
+	BytesOut   int64 // estimated bytes transmitted
+	BytesIn    int64 // estimated bytes received
+}
+
+func (s *Stats) snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		CallsSent:  s.calls.Load(),
+		OneWaySent: s.oneway.Load(),
+		Served:     s.served.Load(),
+		Timeouts:   s.timeouts.Load(),
+		Stale:      s.stale.Load(),
+		BytesOut:   s.bytesOut.Load(),
+		BytesIn:    s.bytesIn.Load(),
+	}
+}
+
+// Add merges o into s (for aggregating across stations).
+func (s StatsSnapshot) Add(o StatsSnapshot) StatsSnapshot {
+	s.CallsSent += o.CallsSent
+	s.OneWaySent += o.OneWaySent
+	s.Served += o.Served
+	s.Timeouts += o.Timeouts
+	s.Stale += o.Stale
+	s.BytesOut += o.BytesOut
+	s.BytesIn += o.BytesIn
+	return s
+}

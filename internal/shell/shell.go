@@ -1,0 +1,234 @@
+// Package shell implements the JavaSymphony Administration Shell
+// (JS-Shell, paper §5): the operator's view of a running JRS
+// installation.  It lists and inspects nodes, shows per-node system
+// parameters and object populations, toggles automatic object migration,
+// installs default constraints, adjusts what the paper calls "the
+// performance measurement and collection periods", injects failures into
+// simulated installations, and reports wire statistics.
+package shell
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"jsymphony/internal/core"
+	"jsymphony/internal/params"
+	"jsymphony/internal/sched"
+	"jsymphony/internal/trace"
+)
+
+// Shell drives one world.
+type Shell struct {
+	w *core.World
+}
+
+// New returns a shell over the world.
+func New(w *core.World) *Shell { return &Shell{w: w} }
+
+// Exec interprets one command line and returns its output.
+func (s *Shell) Exec(p sched.Proc, line string) (string, error) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return "", nil
+	}
+	cmd, args := fields[0], fields[1:]
+	switch cmd {
+	case "help":
+		return helpText, nil
+	case "nodes":
+		return s.nodes(), nil
+	case "params":
+		if len(args) != 1 {
+			return "", fmt.Errorf("usage: params <node>")
+		}
+		return s.params(args[0])
+	case "history":
+		if len(args) != 2 {
+			return "", fmt.Errorf("usage: history <node> <param>")
+		}
+		return s.history(args[0], args[1])
+	case "objects":
+		return s.objects(), nil
+	case "events":
+		if len(args) == 1 {
+			var b strings.Builder
+			for _, e := range s.w.Trace().Filter(trace.Kind(args[0])) {
+				b.WriteString(e.String())
+				b.WriteByte('\n')
+			}
+			if b.Len() == 0 {
+				return "(no events)\n", nil
+			}
+			return b.String(), nil
+		}
+		return s.w.Trace().String(), nil
+	case "stats":
+		return s.stats(), nil
+	case "storage":
+		return s.storage()
+	case "automigrate":
+		return s.automigrate(args)
+	case "constraints":
+		return s.constraints(args)
+	case "kill", "revive":
+		if len(args) != 1 {
+			return "", fmt.Errorf("usage: %s <node>", cmd)
+		}
+		return s.failure(cmd, args[0])
+	}
+	return "", fmt.Errorf("unknown command %q (try help)", cmd)
+}
+
+const helpText = `JS-Shell commands:
+  nodes                         list nodes and liveness
+  params <node>                 print a node's system parameters
+  history <node> <param>        print a parameter's recent time series
+  objects                       per-node JavaSymphony object counts
+  events [kind]                 installation event log (optionally by kind)
+  stats                         aggregated RMI statistics
+  storage                       list persistent object keys
+  automigrate on <period>|off   toggle automatic object migration
+  constraints show|clear        manage JS-Shell default constraints
+  constraints set <param> <op> <value>
+  kill <node> / revive <node>   inject node failures (simulation only)
+  help                          this text`
+
+func (s *Shell) nodes() string {
+	var b strings.Builder
+	now := s.w.Sched().Now()
+	live := map[string]bool{}
+	for _, n := range s.w.Directory().Nodes(now) {
+		live[n] = true
+	}
+	fmt.Fprintf(&b, "%-12s %-6s %-10s %s\n", "NODE", "ALIVE", "IDLE%", "MODEL")
+	for _, n := range s.w.Nodes() {
+		idle, model := "-", "-"
+		if snap, ok := s.w.Directory().Snapshot(n); ok {
+			if v, ok := snap.Get(params.Idle); ok {
+				idle = fmt.Sprintf("%.1f", v.Num)
+			}
+			if v, ok := snap.Get(params.CPUType); ok {
+				model = v.Str
+			}
+		}
+		fmt.Fprintf(&b, "%-12s %-6v %-10s %s\n", n, live[n], idle, model)
+	}
+	return b.String()
+}
+
+func (s *Shell) params(node string) (string, error) {
+	snap, ok := s.w.Directory().Snapshot(node)
+	if !ok {
+		return "", fmt.Errorf("no reports from node %q", node)
+	}
+	return snap.String(), nil
+}
+
+func (s *Shell) history(node, param string) (string, error) {
+	rt, ok := s.w.Runtime(node)
+	if !ok {
+		return "", fmt.Errorf("no such node %q", node)
+	}
+	id := params.ID(param)
+	if !params.IsValid(id) {
+		return "", fmt.Errorf("unknown parameter %q", param)
+	}
+	return rt.Agent().HistoryFormat(id), nil
+}
+
+func (s *Shell) objects() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %s\n", "NODE", "OBJECTS")
+	for _, n := range s.w.Nodes() {
+		rt, ok := s.w.Runtime(n)
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "%-12s %d\n", n, rt.Objects())
+	}
+	return b.String()
+}
+
+func (s *Shell) stats() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %8s %8s %8s %10s %10s\n",
+		"NODE", "CALLS", "ONEWAY", "SERVED", "BYTES-OUT", "BYTES-IN")
+	for _, n := range s.w.Nodes() {
+		rt, ok := s.w.Runtime(n)
+		if !ok {
+			continue
+		}
+		st := rt.Station().Stats()
+		fmt.Fprintf(&b, "%-12s %8d %8d %8d %10d %10d\n",
+			n, st.CallsSent, st.OneWaySent, st.Served, st.BytesOut, st.BytesIn)
+	}
+	return b.String()
+}
+
+func (s *Shell) storage() (string, error) {
+	keys, err := s.w.Storage().Keys()
+	if err != nil {
+		return "", err
+	}
+	sort.Strings(keys)
+	if len(keys) == 0 {
+		return "(no persistent objects)\n", nil
+	}
+	return strings.Join(keys, "\n") + "\n", nil
+}
+
+func (s *Shell) automigrate(args []string) (string, error) {
+	if len(args) == 1 && args[0] == "off" {
+		s.w.SetAutoMigration(0)
+		return "automatic migration disabled\n", nil
+	}
+	if len(args) == 2 && args[0] == "on" {
+		d, err := time.ParseDuration(args[1])
+		if err != nil || d <= 0 {
+			return "", fmt.Errorf("bad period %q", args[1])
+		}
+		s.w.SetAutoMigration(d)
+		return fmt.Sprintf("automatic migration enabled, period %v\n", d), nil
+	}
+	return "", fmt.Errorf("usage: automigrate on <period>|off")
+}
+
+func (s *Shell) constraints(args []string) (string, error) {
+	switch {
+	case len(args) == 1 && args[0] == "show":
+		return s.w.DefaultConstraints().String() + "\n", nil
+	case len(args) == 1 && args[0] == "clear":
+		s.w.SetDefaultConstraints(nil)
+		return "default constraints cleared\n", nil
+	case len(args) == 4 && args[0] == "set":
+		cs := s.w.DefaultConstraints().Clone()
+		if cs == nil {
+			cs = params.NewConstraints()
+		}
+		if err := cs.Set(params.ID(args[1]), args[2], params.Parse(args[3])); err != nil {
+			return "", err
+		}
+		s.w.SetDefaultConstraints(cs)
+		return fmt.Sprintf("default constraints now: %s\n", cs), nil
+	}
+	return "", fmt.Errorf("usage: constraints show|clear|set <param> <op> <value>")
+}
+
+func (s *Shell) failure(cmd, node string) (string, error) {
+	fab := s.w.Fabric()
+	if fab == nil {
+		return "", fmt.Errorf("%s is available on simulated installations only", cmd)
+	}
+	m, ok := fab.ByName(node)
+	if !ok {
+		return "", fmt.Errorf("no machine %q", node)
+	}
+	if cmd == "kill" {
+		m.Kill()
+		return fmt.Sprintf("node %s killed\n", node), nil
+	}
+	m.Revive()
+	return fmt.Sprintf("node %s revived\n", node), nil
+}

@@ -1,0 +1,152 @@
+package shell
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"jsymphony/internal/codebase"
+	"jsymphony/internal/core"
+	"jsymphony/internal/nas"
+	"jsymphony/internal/sched"
+	"jsymphony/internal/simnet"
+)
+
+func testWorld() *core.World {
+	reg := codebase.NewRegistry()
+	reg.Register("shell.Thing", 512, func() any { return &thing{} })
+	return core.NewSimWorld(simnet.PaperCluster(), simnet.Idle, 1, core.Options{
+		NAS: nas.Config{
+			MonitorPeriod: 150 * time.Millisecond,
+			FailTimeout:   600 * time.Millisecond,
+			CallTimeout:   400 * time.Millisecond,
+		},
+		Registry: reg,
+	})
+}
+
+type thing struct{ X int }
+
+func (t *thing) Poke() int { t.X++; return t.X }
+
+func TestShellCommands(t *testing.T) {
+	w := testWorld()
+	sh := New(w)
+	w.RunMain(func(p sched.Proc) {
+		p.Sleep(500 * time.Millisecond)
+
+		out, err := sh.Exec(p, "nodes")
+		if err != nil || !strings.Contains(out, "milena") {
+			t.Errorf("nodes: %v\n%s", err, out)
+		}
+		out, err = sh.Exec(p, "params milena")
+		if err != nil || !strings.Contains(out, "cpu.idle") {
+			t.Errorf("params: %v\n%s", err, out)
+		}
+		if _, err := sh.Exec(p, "params ghost"); err == nil {
+			t.Error("params of unknown node succeeded")
+		}
+
+		// Create an object so objects/stats have content.
+		a, err := w.Register(w.Nodes()[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer a.Unregister(p)
+		cb := a.NewCodebase()
+		cb.Add("shell.Thing")
+		cb.LoadNodes(p, w.Nodes()...)
+		obj, err := a.NewObject(p, "shell.Thing", nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		obj.SInvoke(p, "Poke")
+
+		out, err = sh.Exec(p, "objects")
+		if err != nil || !strings.Contains(out, "1") {
+			t.Errorf("objects: %v\n%s", err, out)
+		}
+		out, err = sh.Exec(p, "stats")
+		if err != nil || !strings.Contains(out, "NODE") {
+			t.Errorf("stats: %v\n%s", err, out)
+		}
+
+		// Persistent storage listing.
+		if _, err := obj.Store(p, "shell-key"); err != nil {
+			t.Fatal(err)
+		}
+		out, err = sh.Exec(p, "storage")
+		if err != nil || !strings.Contains(out, "shell-key") {
+			t.Errorf("storage: %v\n%s", err, out)
+		}
+
+		// Auto-migration toggles.
+		if out, err = sh.Exec(p, "automigrate on 250ms"); err != nil || !strings.Contains(out, "250ms") {
+			t.Errorf("automigrate on: %v %s", err, out)
+		}
+		if w.AutoMigrationPeriod() != 250*time.Millisecond {
+			t.Error("period not applied")
+		}
+		if _, err = sh.Exec(p, "automigrate off"); err != nil {
+			t.Errorf("automigrate off: %v", err)
+		}
+		if w.AutoMigrationPeriod() != 0 {
+			t.Error("automigrate off not applied")
+		}
+		if _, err = sh.Exec(p, "automigrate sideways"); err == nil {
+			t.Error("bad automigrate accepted")
+		}
+
+		// Default constraints.
+		if _, err = sh.Exec(p, "constraints set cpu.idle >= 50"); err != nil {
+			t.Errorf("constraints set: %v", err)
+		}
+		if w.DefaultConstraints().Len() != 1 {
+			t.Error("constraint not installed")
+		}
+		out, _ = sh.Exec(p, "constraints show")
+		if !strings.Contains(out, "cpu.idle >= 50") {
+			t.Errorf("constraints show: %s", out)
+		}
+		if _, err = sh.Exec(p, "constraints set bogus >= 1"); err == nil {
+			t.Error("bad parameter accepted")
+		}
+		sh.Exec(p, "constraints clear")
+		if w.DefaultConstraints() != nil {
+			t.Error("constraints clear failed")
+		}
+
+		// Failure injection.
+		if out, err = sh.Exec(p, "kill rachel"); err != nil || !strings.Contains(out, "killed") {
+			t.Errorf("kill: %v %s", err, out)
+		}
+		p.Sleep(2 * time.Second)
+		out, _ = sh.Exec(p, "nodes")
+		if !strings.Contains(out, "rachel") {
+			t.Errorf("killed node vanished from listing:\n%s", out)
+		}
+		if out, err = sh.Exec(p, "revive rachel"); err != nil || !strings.Contains(out, "revived") {
+			t.Errorf("revive: %v %s", err, out)
+		}
+
+		// Misc.
+		if out, _ := sh.Exec(p, "help"); !strings.Contains(out, "automigrate") {
+			t.Error("help incomplete")
+		}
+		if out, err := sh.Exec(p, ""); err != nil || out != "" {
+			t.Error("empty line not a no-op")
+		}
+		if _, err := sh.Exec(p, "frobnicate"); err == nil {
+			t.Error("unknown command accepted")
+		}
+	})
+}
+
+func TestShellFailureCommandsNeedSim(t *testing.T) {
+	w := core.NewLocalWorld([]string{"a", "b"}, core.Options{})
+	sh := New(w)
+	p := sched.RealProc(w.Sched())
+	if _, err := sh.Exec(p, "kill a"); err == nil {
+		t.Fatal("kill on real world accepted")
+	}
+}

@@ -1,0 +1,85 @@
+package simnet
+
+import (
+	"time"
+
+	"jsymphony/internal/vclock"
+)
+
+// LoadProfile models the background load owners impose on their
+// workstations.  The load is a deterministic piecewise-constant function
+// of virtual time: time is divided into slots of length Slot; each slot's
+// load is drawn from a seeded hash of (machine seed, slot index), so the
+// trace is reproducible without any load-generator actor.
+//
+// A slot is either "calm" (load ≈ Mean, jittered by ±Jitter) or, with
+// probability BurstProb, a "burst" (load ≈ BurstLoad) — modelling a user
+// compiling or reading mail versus leaving the machine idle.
+type LoadProfile struct {
+	Name      string
+	Mean      float64       // baseline utilization, 0..1
+	Jitter    float64       // uniform jitter around the baseline
+	BurstProb float64       // probability a slot is a burst
+	BurstLoad float64       // utilization during a burst
+	Slot      time.Duration // slot length
+}
+
+// The two experimental conditions of the paper's Figure 5.
+var (
+	// Night: "very little system load implied by individual users".
+	Night = LoadProfile{Name: "night", Mean: 0.03, Jitter: 0.02, BurstProb: 0.01, BurstLoad: 0.30, Slot: 2 * time.Second}
+	// Day: "workstations have been used by individual people for their
+	// everyday work (e.g. program development, e-mailing, etc.)".
+	Day = LoadProfile{Name: "day", Mean: 0.30, Jitter: 0.20, BurstProb: 0.15, BurstLoad: 0.85, Slot: 2 * time.Second}
+	// Idle: zero background load; useful for exact-timing tests.
+	Idle = LoadProfile{Name: "idle", Slot: 2 * time.Second}
+)
+
+// splitmix64 is a tiny stateless PRNG step; good enough to decorrelate
+// (seed, slot) pairs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// unit maps a hash to [0, 1).
+func unit(x uint64) float64 {
+	return float64(x>>11) / float64(1<<53)
+}
+
+// Load returns the background utilization of the machine with the given
+// seed at virtual time t.  Always in [0, 0.95].
+func (p LoadProfile) Load(seed int64, t vclock.Time) float64 {
+	if p.Slot <= 0 {
+		p.Slot = 2 * time.Second
+	}
+	slot := uint64(t) / uint64(p.Slot)
+	h := splitmix64(uint64(seed)*0x9e3779b97f4a7c15 ^ slot)
+	u1 := unit(h)
+	u2 := unit(splitmix64(h))
+	var load float64
+	if u1 < p.BurstProb {
+		load = p.BurstLoad + (u2-0.5)*p.Jitter
+	} else {
+		load = p.Mean + (u2-0.5)*2*p.Jitter
+	}
+	if load < 0 {
+		load = 0
+	}
+	if load > 0.95 {
+		load = 0.95
+	}
+	return load
+}
+
+// slotEnd returns the first instant strictly after t at which the load
+// may change (the next slot boundary).
+func (p LoadProfile) slotEnd(t vclock.Time) vclock.Time {
+	if p.Slot <= 0 {
+		p.Slot = 2 * time.Second
+	}
+	slot := uint64(t) / uint64(p.Slot)
+	return vclock.Time((slot + 1) * uint64(p.Slot))
+}

@@ -1,0 +1,120 @@
+// Package simnet simulates the heterogeneous, non-dedicated workstation
+// cluster of the paper's evaluation (Section 6) on top of the vclock
+// discrete-event kernel.
+//
+// The paper measures JavaSymphony on 13 Sun workstations — Sparcstations
+// 4/110, 10/40 and 5/70, and Sun Ultras 1/170, 10/300 and 10/440 — where
+// the Ultras share 100 Mbit/s Ethernet and the older machines 10 Mbit/s,
+// all running Solaris 7, all used interactively by their owners during
+// the day.  simnet reproduces that environment:
+//
+//   - Machines with per-model compute rates (processor-sharing CPU model
+//     with a deterministic background-load trace: a "day" profile with
+//     interactive bursts and a quiet "night" profile).
+//   - Links with per-pair latency and bandwidth, plus a per-NIC transmit
+//     queue so that a master fanning out to many slaves saturates its own
+//     interface — the effect behind the paper's ">10 nodes gets slower".
+//   - Synthesized operating-system metrics (params.Snapshot) so the
+//     network agent system has something to sample, exactly as
+//     java.lang.Runtime.exec-ed Solaris commands did in the paper.
+//
+// Everything is deterministic given the fabric seed.
+package simnet
+
+import (
+	"fmt"
+	"time"
+)
+
+// MachineSpec describes one workstation model instance.
+type MachineSpec struct {
+	Name     string  // host name, e.g. "milena"
+	Model    string  // e.g. "Sparcstation 4/110"
+	Arch     string  // architecture family
+	ClockMHz float64 // CPU clock
+	MFlops   float64 // sustained double-precision rate, MFlop/s
+	MemMB    float64 // physical memory
+	SwapMB   float64 // swap space
+	LinkMbps float64 // NIC nominal bandwidth
+	OS       string  // operating system string
+	Site     string  // geographic site; machines at different sites talk over a WAN ("" = default site)
+}
+
+// Workstation model templates.  MFlops is the *Java-effective* sustained
+// double-precision rate under a JDK 1.2 JIT — several times below the
+// hardware peak, which is what the paper's application actually saw —
+// chosen to preserve the performance ratios between the models (a Sun
+// Ultra 10/440 is roughly an order of magnitude faster than a
+// Sparcstation 10/40).
+var (
+	Sparc10_40  = MachineSpec{Model: "Sparcstation 10/40", Arch: "sparc", ClockMHz: 40, MFlops: 2.5, MemMB: 64, SwapMB: 128, LinkMbps: 10, OS: "SunOS 5.7"}
+	Sparc5_70   = MachineSpec{Model: "Sparcstation 5/70", Arch: "sparc", ClockMHz: 70, MFlops: 3.5, MemMB: 64, SwapMB: 128, LinkMbps: 10, OS: "SunOS 5.7"}
+	Sparc4_110  = MachineSpec{Model: "Sparcstation 4/110", Arch: "sparc", ClockMHz: 110, MFlops: 4.5, MemMB: 64, SwapMB: 128, LinkMbps: 10, OS: "SunOS 5.7"}
+	Ultra1_170  = MachineSpec{Model: "Sun Ultra 1/170", Arch: "sparcv9", ClockMHz: 167, MFlops: 14, MemMB: 128, SwapMB: 256, LinkMbps: 100, OS: "SunOS 5.7"}
+	Ultra10_300 = MachineSpec{Model: "Sun Ultra 10/300", Arch: "sparcv9", ClockMHz: 300, MFlops: 25, MemMB: 256, SwapMB: 512, LinkMbps: 100, OS: "SunOS 5.7"}
+	Ultra10_440 = MachineSpec{Model: "Sun Ultra 10/440", Arch: "sparcv9", ClockMHz: 440, MFlops: 36, MemMB: 256, SwapMB: 512, LinkMbps: 100, OS: "SunOS 5.7"}
+)
+
+// paperHosts gives the 13 machines host names in the flavor of the
+// paper's examples ("milena", "rachel").
+var paperHosts = []string{
+	"milena", "rachel", "sofia", "clara", "erwin", "gustav", "hanna",
+	"ingrid", "jakob", "karin", "leo", "marta", "nora",
+}
+
+// PaperCluster returns the paper's 13-workstation inventory: fast Ultras
+// first (the order a greedy "fastest available" allocation would pick,
+// matching how one runs a scaling experiment on a heterogeneous pool),
+// older Sparcstations last.
+func PaperCluster() []MachineSpec {
+	models := []MachineSpec{
+		Ultra10_440, Ultra10_440,
+		Ultra10_300, Ultra10_300,
+		Ultra1_170, Ultra1_170, Ultra1_170,
+		Sparc4_110, Sparc4_110,
+		Sparc5_70, Sparc5_70,
+		Sparc10_40, Sparc10_40,
+	}
+	specs := make([]MachineSpec, len(models))
+	for i, m := range models {
+		m.Name = paperHosts[i]
+		specs[i] = m
+	}
+	return specs
+}
+
+// UniformCluster returns n identical machines based on spec, for tests
+// that want homogeneous behaviour.
+func UniformCluster(spec MachineSpec, n int) []MachineSpec {
+	specs := make([]MachineSpec, n)
+	for i := range specs {
+		m := spec
+		m.Name = fmt.Sprintf("node%02d", i)
+		specs[i] = m
+	}
+	return specs
+}
+
+// WideAreaCluster returns a two-site meta-computing installation — the
+// "large scale wide-area meta computing" end of the paper's spectrum:
+// perSite Ultra workstations in Vienna and in Linz, with a WAN between
+// the sites.
+func WideAreaCluster(perSite int) []MachineSpec {
+	var specs []MachineSpec
+	for s, site := range []string{"vienna", "linz"} {
+		for i := 0; i < perSite; i++ {
+			m := Ultra10_300
+			m.Name = fmt.Sprintf("%s%02d", site, i)
+			m.Site = site
+			_ = s
+			specs = append(specs, m)
+		}
+	}
+	return specs
+}
+
+// WAN characteristics between distinct sites.
+const (
+	WANLatency = 25 * time.Millisecond
+	WANMbps    = 2.0
+)

@@ -1,0 +1,148 @@
+// Package trace is the JRS event log: a bounded, concurrency-safe record
+// of object-agent and installation events (creations, migrations,
+// persistence, failures, takeovers).  The paper's JS-Shell observes a
+// live installation; the trace gives that observability a queryable
+// substrate — and gives tests a way to assert whole protocol sequences
+// rather than just end states.
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind classifies events.
+type Kind string
+
+// Event kinds emitted by the runtime.
+const (
+	AppRegistered   Kind = "app.registered"
+	AppUnregistered Kind = "app.unregistered"
+	ObjCreated      Kind = "obj.created"
+	ObjMigrated     Kind = "obj.migrated"
+	ObjStored       Kind = "obj.stored"
+	ObjLoaded       Kind = "obj.loaded"
+	ObjFreed        Kind = "obj.freed"
+	ObjRecovered    Kind = "obj.recovered"
+	CodebaseLoaded  Kind = "codebase.loaded"
+	NodeFailed      Kind = "node.failed"
+	ManagerChanged  Kind = "manager.changed"
+)
+
+// Event is one record.
+type Event struct {
+	Seq    uint64        // global order
+	At     time.Duration // scheduler time
+	Kind   Kind
+	Node   string // node the event concerns
+	App    string // owning application ("" for installation events)
+	Obj    uint64 // object id (0 if not object-scoped)
+	Detail string // free-form context ("-> rachel", class name, ...)
+}
+
+// String renders one event as the shell prints it.
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10s  %-16s %-10s", e.At.Round(time.Millisecond), e.Kind, e.Node)
+	if e.App != "" {
+		fmt.Fprintf(&b, " %s", e.App)
+		if e.Obj != 0 {
+			fmt.Fprintf(&b, "/%d", e.Obj)
+		}
+	}
+	if e.Detail != "" {
+		fmt.Fprintf(&b, "  %s", e.Detail)
+	}
+	return b.String()
+}
+
+// Log is a bounded ring of events.
+type Log struct {
+	mu    sync.Mutex
+	cap   int
+	ring  []Event
+	next  int
+	count int
+	seq   uint64
+}
+
+// NewLog returns a log retaining the last cap events.
+func NewLog(cap int) *Log {
+	if cap < 1 {
+		cap = 1
+	}
+	return &Log{cap: cap, ring: make([]Event, cap)}
+}
+
+// Emit records an event, stamping sequence number and keeping the ring
+// bounded.
+func (l *Log) Emit(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	e.Seq = l.seq
+	l.ring[l.next] = e
+	l.next = (l.next + 1) % l.cap
+	if l.count < l.cap {
+		l.count++
+	}
+}
+
+// Events returns the retained events oldest-first.
+func (l *Log) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, 0, l.count)
+	start := l.next - l.count
+	for i := 0; i < l.count; i++ {
+		out = append(out, l.ring[((start+i)%l.cap+l.cap)%l.cap])
+	}
+	return out
+}
+
+// Filter returns retained events of one kind, oldest-first.
+func (l *Log) Filter(kind Kind) []Event {
+	var out []Event
+	for _, e := range l.Events() {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ForObject returns retained events for one object, oldest-first.
+func (l *Log) ForObject(app string, obj uint64) []Event {
+	var out []Event
+	for _, e := range l.Events() {
+		if e.App == app && e.Obj == obj {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Len reports the number of retained events.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.count
+}
+
+// String renders the whole retained log.
+func (l *Log) String() string {
+	var b strings.Builder
+	for _, e := range l.Events() {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	if b.Len() == 0 {
+		return "(no events)\n"
+	}
+	return b.String()
+}
+
+// DefaultDepth is the number of events a world retains.
+const DefaultDepth = 1024

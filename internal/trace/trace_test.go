@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestLogBasics(t *testing.T) {
+	l := NewLog(8)
+	if l.Len() != 0 {
+		t.Fatal("new log not empty")
+	}
+	l.Emit(Event{Kind: ObjCreated, Node: "a", App: "app:1", Obj: 1, Detail: "C"})
+	l.Emit(Event{Kind: ObjMigrated, Node: "b", App: "app:1", Obj: 1, Detail: "a -> b"})
+	l.Emit(Event{Kind: NodeFailed, Node: "c"})
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	evs := l.Events()
+	if evs[0].Kind != ObjCreated || evs[2].Kind != NodeFailed {
+		t.Fatalf("order wrong: %v", evs)
+	}
+	// Sequence numbers are strictly increasing.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatal("sequence numbers not increasing")
+		}
+	}
+	if got := l.Filter(ObjMigrated); len(got) != 1 || got[0].Detail != "a -> b" {
+		t.Fatalf("Filter = %v", got)
+	}
+	if got := l.ForObject("app:1", 1); len(got) != 2 {
+		t.Fatalf("ForObject = %v", got)
+	}
+	out := l.String()
+	for _, want := range []string{"obj.created", "obj.migrated", "node.failed", "app:1/1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("String missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLogBounded(t *testing.T) {
+	l := NewLog(4)
+	for i := 0; i < 10; i++ {
+		l.Emit(Event{Kind: ObjCreated, Obj: uint64(i)})
+	}
+	evs := l.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d, want 4", len(evs))
+	}
+	if evs[0].Obj != 6 || evs[3].Obj != 9 {
+		t.Fatalf("wrong window: %v", evs)
+	}
+}
+
+func TestEmptyLogString(t *testing.T) {
+	if NewLog(4).String() != "(no events)\n" {
+		t.Fatal("empty rendering wrong")
+	}
+	if NewLog(0).cap != 1 {
+		t.Fatal("cap clamp missing")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{At: 1500 * time.Millisecond, Kind: ObjStored, Node: "n", App: "a", Obj: 7, Detail: "key"}
+	s := e.String()
+	for _, want := range []string{"1.5s", "obj.stored", "n", "a/7", "key"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Event.String missing %q: %q", want, s)
+		}
+	}
+	// Installation events have no app part.
+	s = Event{Kind: NodeFailed, Node: "x"}.String()
+	if strings.Contains(s, "/") {
+		t.Fatalf("installation event rendered object id: %q", s)
+	}
+}
+
+// Property: after any emission sequence, Events() is sorted by Seq and
+// bounded by the capacity.
+func TestLogOrderProperty(t *testing.T) {
+	f := func(kinds []uint8, cap8 uint8) bool {
+		cap := int(cap8%32) + 1
+		l := NewLog(cap)
+		for range kinds {
+			l.Emit(Event{Kind: ObjCreated})
+		}
+		evs := l.Events()
+		if len(evs) > cap {
+			return false
+		}
+		for i := 1; i < len(evs); i++ {
+			if evs[i].Seq != evs[i-1].Seq+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

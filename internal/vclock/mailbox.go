@@ -1,0 +1,184 @@
+package vclock
+
+import (
+	"fmt"
+	"time"
+)
+
+// Mailbox is a delayed-delivery message queue in virtual time.  Put
+// schedules a message to become visible after a delay (modelling network
+// latency plus transmission time); Get blocks the calling actor until a
+// message is deliverable.  Messages delivered at distinct virtual times
+// are received in time order; ties are broken by Put order.
+type Mailbox struct {
+	c       *Clock
+	name    string
+	ready   []any    // delivered, not yet consumed (FIFO)
+	waiters []*Actor // actors blocked in Get, FIFO
+	pending int      // scheduled deliveries not yet fired
+	closed  bool
+}
+
+// NewMailbox returns an empty mailbox on clock c.  The name is used in
+// deadlock diagnostics.
+func NewMailbox(c *Clock, name string) *Mailbox {
+	return &Mailbox{c: c, name: name}
+}
+
+// Len reports the number of deliverable (not in-flight) messages.
+func (m *Mailbox) Len() int {
+	m.c.mu.Lock()
+	defer m.c.mu.Unlock()
+	return len(m.ready)
+}
+
+// InFlight reports the number of scheduled, not-yet-delivered messages.
+func (m *Mailbox) InFlight() int {
+	m.c.mu.Lock()
+	defer m.c.mu.Unlock()
+	return m.pending
+}
+
+// Put schedules v for delivery after delay.  It never blocks and may be
+// called from any goroutine (actor or not).  Put on a closed mailbox
+// silently drops the message, which is what a network delivers to a
+// closed socket during shutdown.
+func (m *Mailbox) Put(v any, delay Duration) {
+	c := m.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if m.closed {
+		return
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	m.pending++
+	c.schedule(c.now+Time(delay), func() {
+		m.pending--
+		m.ready = append(m.ready, v)
+		m.wakeOneLocked()
+	})
+}
+
+// Close marks the mailbox closed.  Blocked and future Gets return ok ==
+// false once no deliverable or in-flight messages remain.
+func (m *Mailbox) Close() {
+	c := m.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if m.closed {
+		return
+	}
+	m.closed = true
+	// Wake everyone so they can observe the close.
+	for len(m.waiters) > 0 {
+		m.wakeOneLocked()
+	}
+}
+
+// wakeOneLocked pops the first waiter, if any, and makes it runnable.
+// Caller holds the clock lock.
+func (m *Mailbox) wakeOneLocked() {
+	if len(m.waiters) == 0 {
+		return
+	}
+	a := m.waiters[0]
+	m.waiters = m.waiters[1:]
+	m.c.wakeActor(a)
+}
+
+// removeWaiterLocked deletes a from the waiter list if present.  Caller
+// holds the clock lock.
+func (m *Mailbox) removeWaiterLocked(a *Actor) {
+	for i, w := range m.waiters {
+		if w == a {
+			m.waiters = append(m.waiters[:i], m.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// Get blocks the actor until a message is deliverable and returns it.
+// ok is false if the mailbox is closed and drained.
+func (a *Actor) Get(m *Mailbox) (v any, ok bool) {
+	c := a.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if len(m.ready) > 0 {
+			v = m.popLocked()
+			return v, true
+		}
+		if m.closed && m.pending == 0 {
+			return nil, false
+		}
+		m.waiters = append(m.waiters, a)
+		a.state = "receiving on mailbox " + m.name
+		c.blockActor(a)
+		c.mu.Unlock()
+		<-a.wake
+		c.mu.Lock()
+		c.checkDeadLocked()
+		a.state = "running"
+	}
+}
+
+// GetTimeout is Get with a virtual-time deadline.  ok is false if the
+// timeout elapsed (or the mailbox closed and drained) before a message
+// became deliverable.
+func (a *Actor) GetTimeout(m *Mailbox, d Duration) (v any, ok bool) {
+	c := a.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d < 0 {
+		d = 0
+	}
+	deadline := c.now + Time(d)
+	var timer *event
+	for {
+		if len(m.ready) > 0 {
+			if timer != nil {
+				timer.canceled = true
+			}
+			return m.popLocked(), true
+		}
+		if m.closed && m.pending == 0 {
+			if timer != nil {
+				timer.canceled = true
+			}
+			return nil, false
+		}
+		if c.now >= deadline {
+			return nil, false
+		}
+		if timer == nil || timer.canceled {
+			timer = c.schedule(deadline, func() {
+				// Only wake if still waiting; the waiter removes
+				// itself from m.waiters on its own wake path.
+				m.removeWaiterLocked(a)
+				c.wakeActor(a)
+			})
+		}
+		m.waiters = append(m.waiters, a)
+		a.state = fmt.Sprintf("receiving on mailbox %s (timeout at %v)", m.name, time.Duration(deadline))
+		c.blockActor(a)
+		c.mu.Unlock()
+		<-a.wake
+		c.mu.Lock()
+		c.checkDeadLocked()
+		a.state = "running"
+		// We may have been woken by a delivery while the timer is still
+		// pending, or by the timer while still in the waiter list (not
+		// possible: the timer removes us), or by Close.  Clean both up.
+		m.removeWaiterLocked(a)
+	}
+}
+
+// popLocked removes and returns the first ready message.  Caller holds
+// the clock lock and has checked len(m.ready) > 0.
+func (m *Mailbox) popLocked() any {
+	v := m.ready[0]
+	m.ready = m.ready[1:]
+	return v
+}

@@ -1,0 +1,275 @@
+package virtarch
+
+import (
+	"fmt"
+
+	"jsymphony/internal/params"
+)
+
+// Domain is the top of a virtual architecture: a collection of sites,
+// possibly "a large computational grid that can be distributed across
+// several continents" (paper §3).
+type Domain struct {
+	alloc  Allocator
+	sites  []*Site
+	freed  bool
+	aggKey string
+}
+
+// NewDomain allocates a domain from a nested size specification — the
+// paper's "Domain d1 = new Domain(DomainNodes, constr)" where DomainNodes
+// = {{1,3,5},{6,4}} requests two sites of three and two clusters.
+func NewDomain(a Allocator, siteClusterSizes [][]int, constr *params.Constraints) (*Domain, error) {
+	d := &Domain{alloc: a}
+	var allocated []string
+	for _, sizes := range siteClusterSizes {
+		s := &Site{alloc: a, domain: d}
+		for _, size := range sizes {
+			names, err := a.Alloc(size, "", constr, allocated)
+			if err != nil {
+				if len(allocated) > 0 {
+					a.Free(allocated)
+				}
+				return nil, err
+			}
+			allocated = append(allocated, names...)
+			c := &Cluster{alloc: a, site: s}
+			for _, nm := range names {
+				node := adoptNode(a, nm)
+				node.cluster = c
+				c.nodes = append(c.nodes, node)
+			}
+			s.clusters = append(s.clusters, c)
+		}
+		d.sites = append(d.sites, s)
+	}
+	return d, nil
+}
+
+// NewEmptyDomain returns a domain to be filled with AddSite — the
+// paper's "Domain d2 = new Domain()".
+func NewEmptyDomain(a Allocator) *Domain { return &Domain{alloc: a} }
+
+// AddSite inserts an existing site (addSite).
+func (d *Domain) AddSite(s *Site) error {
+	mu.Lock()
+	defer mu.Unlock()
+	if d.freed {
+		return ErrFreed
+	}
+	if s.freed {
+		return fmt.Errorf("%w: site", ErrFreed)
+	}
+	if s.domain != nil && s.domain != d {
+		return fmt.Errorf("virtarch: site already belongs to a domain")
+	}
+	if s.domain == d {
+		return nil
+	}
+	s.domain = d
+	d.sites = append(d.sites, s)
+	return nil
+}
+
+// NrSites returns the current number of sites (nrSites).
+func (d *Domain) NrSites() int {
+	mu.Lock()
+	defer mu.Unlock()
+	return len(d.sites)
+}
+
+// NrClusters returns the total cluster count (nrClusters).
+func (d *Domain) NrClusters() int {
+	mu.Lock()
+	defer mu.Unlock()
+	total := 0
+	for _, s := range d.sites {
+		total += len(s.clusters)
+	}
+	return total
+}
+
+// NrNodes returns the total node count (nrNodes).
+func (d *Domain) NrNodes() int {
+	mu.Lock()
+	defer mu.Unlock()
+	total := 0
+	for _, s := range d.sites {
+		for _, c := range s.clusters {
+			total += len(c.nodes)
+		}
+	}
+	return total
+}
+
+// Site returns the i-th site (getSite).
+func (d *Domain) Site(i int) (*Site, error) {
+	mu.Lock()
+	defer mu.Unlock()
+	if i < 0 || i >= len(d.sites) {
+		return nil, fmt.Errorf("%w: site %d of %d", ErrRange, i, len(d.sites))
+	}
+	return d.sites[i], nil
+}
+
+// Sites returns the member sites in order.
+func (d *Domain) Sites() []*Site {
+	mu.Lock()
+	defer mu.Unlock()
+	return append([]*Site(nil), d.sites...)
+}
+
+// Node returns node n of cluster c of site s — the paper's
+// d1.getNode(1, 2, 3) shorthand.
+func (d *Domain) Node(s, c, n int) (*Node, error) {
+	site, err := d.Site(s)
+	if err != nil {
+		return nil, err
+	}
+	return site.Node(c, n)
+}
+
+// FreeNode releases node n of cluster c of site s (freeNode(1, 2, 3)).
+func (d *Domain) FreeNode(s, c, n int) error {
+	site, err := d.Site(s)
+	if err != nil {
+		return err
+	}
+	return site.FreeNode(c, n)
+}
+
+// FreeCluster releases cluster c of site s (freeCluster(1, 2)).
+func (d *Domain) FreeCluster(s, c int) error {
+	site, err := d.Site(s)
+	if err != nil {
+		return err
+	}
+	return site.FreeClusterAt(c)
+}
+
+// FreeSiteAt releases the i-th site (freeSite(1)).
+func (d *Domain) FreeSiteAt(i int) error {
+	s, err := d.Site(i)
+	if err != nil {
+		return err
+	}
+	s.Free()
+	return nil
+}
+
+// FreeSite releases a specific member site (freeSite(s1)).
+func (d *Domain) FreeSite(s *Site) error {
+	mu.Lock()
+	if s.domain != d {
+		mu.Unlock()
+		return fmt.Errorf("%w: site", ErrNotMember)
+	}
+	mu.Unlock()
+	s.Free()
+	return nil
+}
+
+// removeLocked detaches s from the site list; caller holds mu.
+func (d *Domain) removeLocked(s *Site) {
+	for i, m := range d.sites {
+		if m == s {
+			d.sites = append(d.sites[:i], d.sites[i+1:]...)
+			return
+		}
+	}
+}
+
+// Free releases the domain and everything in it (freeDomain).
+func (d *Domain) Free() {
+	mu.Lock()
+	if d.freed {
+		mu.Unlock()
+		return
+	}
+	d.freed = true
+	sites := append([]*Site(nil), d.sites...)
+	mu.Unlock()
+	for _, s := range sites {
+		s.Free()
+	}
+}
+
+// Freed reports whether the domain has been released.
+func (d *Domain) Freed() bool {
+	mu.Lock()
+	defer mu.Unlock()
+	return d.freed
+}
+
+// NodeNames returns every host name in the domain.
+func (d *Domain) NodeNames() []string {
+	mu.Lock()
+	defer mu.Unlock()
+	var out []string
+	for _, s := range d.sites {
+		for _, c := range s.clusters {
+			out = append(out, c.nodeNamesLocked()...)
+		}
+	}
+	return out
+}
+
+// Topology flattens the domain into [site][cluster][]node-name for the
+// NAS manager hierarchy.
+func (d *Domain) Topology() [][][]string {
+	mu.Lock()
+	defer mu.Unlock()
+	out := make([][][]string, len(d.sites))
+	for i, s := range d.sites {
+		out[i] = make([][]string, len(s.clusters))
+		for j, c := range s.clusters {
+			out[i][j] = c.nodeNamesLocked()
+		}
+	}
+	return out
+}
+
+// SetAggKey records the aggregation key for an active JRS hierarchy.
+func (d *Domain) SetAggKey(k string) {
+	mu.Lock()
+	d.aggKey = k
+	mu.Unlock()
+}
+
+// AggKey returns the aggregation key ("" when not activated).
+func (d *Domain) AggKey() string {
+	mu.Lock()
+	defer mu.Unlock()
+	return d.aggKey
+}
+
+// Component is any virtual architecture element an object can be mapped
+// onto: a Node, Cluster, Site, or Domain (paper §4.4).
+type Component interface {
+	// NodeNames returns the candidate physical nodes of the component.
+	NodeNames() []string
+	// AggKey returns the NAS aggregation key, "" if not activated.
+	AggKey() string
+}
+
+// NodeNames implements Component for a single node.
+func (n *Node) NodeNames() []string {
+	mu.Lock()
+	defer mu.Unlock()
+	if n.freed {
+		return nil
+	}
+	return []string{n.name}
+}
+
+// AggKey implements Component: a single node has no aggregate; its
+// parameters are read directly from its agent.
+func (n *Node) AggKey() string { return "" }
+
+// Compile-time interface checks.
+var (
+	_ Component = (*Node)(nil)
+	_ Component = (*Cluster)(nil)
+	_ Component = (*Site)(nil)
+	_ Component = (*Domain)(nil)
+)

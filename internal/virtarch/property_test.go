@@ -1,0 +1,148 @@
+package virtarch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: after any sequence of frees driven by pseudo-random bytes,
+// the architecture stays consistent — node counts add up across levels,
+// freed components are empty, and every remaining node's backrefs point
+// into its containing structures (the unique-triple invariant).
+func TestRandomFreeSequenceInvariant(t *testing.T) {
+	f := func(ops []byte) bool {
+		a := newFakeAlloc(30)
+		d, err := NewDomain(a, [][]int{{3, 2}, {4}}, nil)
+		if err != nil {
+			return false
+		}
+		for _, op := range ops {
+			switch op % 4 {
+			case 0: // free a node by position
+				s := int(op/4) % maxInt(1, d.NrSites())
+				site, err := d.Site(s)
+				if err != nil || site.NrClusters() == 0 {
+					continue
+				}
+				c := int(op/8) % site.NrClusters()
+				cl, err := site.Cluster(c)
+				if err != nil || cl.NrNodes() == 0 {
+					continue
+				}
+				_ = cl.FreeNodeAt(int(op/16) % cl.NrNodes())
+			case 1: // free a cluster
+				s := int(op/4) % maxInt(1, d.NrSites())
+				site, err := d.Site(s)
+				if err != nil || site.NrClusters() == 0 {
+					continue
+				}
+				_ = site.FreeClusterAt(int(op/8) % site.NrClusters())
+			case 2: // free a site
+				if d.NrSites() == 0 {
+					continue
+				}
+				_ = d.FreeSiteAt(int(op/4) % d.NrSites())
+			case 3: // no-op navigation, must never corrupt anything
+				_ = d.NodeNames()
+				_ = d.Topology()
+			}
+			if !consistent(d) {
+				return false
+			}
+		}
+		d.Free()
+		return d.NrNodes() == 0 && d.NrClusters() == 0 && d.NrSites() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// consistent cross-checks the counting methods against the structure.
+func consistent(d *Domain) bool {
+	totalNodes, totalClusters := 0, 0
+	for _, s := range d.Sites() {
+		siteNodes := 0
+		for _, c := range s.Clusters() {
+			if c.Site() != s {
+				return false
+			}
+			for _, n := range c.Nodes() {
+				if n.Freed() {
+					return false
+				}
+				if n.Cluster() != c {
+					return false
+				}
+			}
+			siteNodes += c.NrNodes()
+			totalClusters++
+		}
+		if s.NrNodes() != siteNodes {
+			return false
+		}
+		if s.Domain() != d {
+			return false
+		}
+		totalNodes += siteNodes
+	}
+	return d.NrNodes() == totalNodes && d.NrClusters() == totalClusters
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Property: NodeNames never contains duplicates or freed nodes,
+// regardless of interleaved AddNode/Free operations on a cluster.
+func TestClusterAddFreeProperty(t *testing.T) {
+	f := func(ops []byte) bool {
+		a := newFakeAlloc(40)
+		c := NewEmptyCluster(a)
+		var pool []*Node
+		for _, op := range ops {
+			switch op % 3 {
+			case 0:
+				n, err := NewNode(a, nil)
+				if err != nil {
+					continue
+				}
+				pool = append(pool, n)
+				if err := c.AddNode(n); err != nil {
+					return false
+				}
+			case 1:
+				if c.NrNodes() == 0 {
+					continue
+				}
+				if err := c.FreeNodeAt(int(op/3) % c.NrNodes()); err != nil {
+					return false
+				}
+			case 2:
+				if len(pool) == 0 {
+					continue
+				}
+				pool[int(op/3)%len(pool)].Free() // double frees must be no-ops
+			}
+			seen := map[string]bool{}
+			for _, name := range c.NodeNames() {
+				if seen[name] {
+					return false
+				}
+				seen[name] = true
+			}
+			for _, n := range c.Nodes() {
+				if n.Freed() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,221 @@
+package virtarch
+
+import (
+	"fmt"
+
+	"jsymphony/internal/params"
+)
+
+// Site is a collection of clusters, usually geographically co-located
+// and WAN-connected to the rest of a domain (paper §3).
+type Site struct {
+	alloc    Allocator
+	clusters []*Cluster
+	domain   *Domain
+	freed    bool
+	aggKey   string
+}
+
+// NewSite allocates a site with len(clusterSizes) clusters of the given
+// sizes — the paper's "Site s1 = new Site(SiteNodes, constr)" where
+// SiteNodes = {2, 4, 5}.  Constraints, when given, must hold for every
+// node in the site.
+func NewSite(a Allocator, clusterSizes []int, constr *params.Constraints) (*Site, error) {
+	s := &Site{alloc: a}
+	var allocated []string
+	for _, size := range clusterSizes {
+		names, err := a.Alloc(size, "", constr, allocated)
+		if err != nil {
+			// Roll back everything allocated so far.
+			if len(allocated) > 0 {
+				a.Free(allocated)
+			}
+			return nil, err
+		}
+		allocated = append(allocated, names...)
+		c := &Cluster{alloc: a, site: s}
+		for _, nm := range names {
+			node := adoptNode(a, nm)
+			node.cluster = c
+			c.nodes = append(c.nodes, node)
+		}
+		s.clusters = append(s.clusters, c)
+	}
+	return s, nil
+}
+
+// NewEmptySite returns a site to be filled with AddCluster — the paper's
+// "Site s2 = new Site()".
+func NewEmptySite(a Allocator) *Site { return &Site{alloc: a} }
+
+// AddCluster inserts an existing cluster (addCluster).  A cluster can
+// belong to only one site.
+func (s *Site) AddCluster(c *Cluster) error {
+	mu.Lock()
+	defer mu.Unlock()
+	if s.freed {
+		return ErrFreed
+	}
+	if c.freed {
+		return fmt.Errorf("%w: cluster", ErrFreed)
+	}
+	if c.site != nil && c.site != s {
+		return fmt.Errorf("virtarch: cluster already belongs to a site")
+	}
+	if c.site == s {
+		return nil
+	}
+	c.site = s
+	s.clusters = append(s.clusters, c)
+	return nil
+}
+
+// NrClusters returns the current number of clusters (nrClusters).
+func (s *Site) NrClusters() int {
+	mu.Lock()
+	defer mu.Unlock()
+	return len(s.clusters)
+}
+
+// NrNodes returns the total node count across clusters (nrNodes).
+func (s *Site) NrNodes() int {
+	mu.Lock()
+	defer mu.Unlock()
+	total := 0
+	for _, c := range s.clusters {
+		total += len(c.nodes)
+	}
+	return total
+}
+
+// Cluster returns the i-th cluster (getCluster).
+func (s *Site) Cluster(i int) (*Cluster, error) {
+	mu.Lock()
+	defer mu.Unlock()
+	if i < 0 || i >= len(s.clusters) {
+		return nil, fmt.Errorf("%w: cluster %d of %d", ErrRange, i, len(s.clusters))
+	}
+	return s.clusters[i], nil
+}
+
+// Clusters returns the member clusters in order.
+func (s *Site) Clusters() []*Cluster {
+	mu.Lock()
+	defer mu.Unlock()
+	return append([]*Cluster(nil), s.clusters...)
+}
+
+// Node returns node n of cluster c — the paper's s1.getNode(2, 1)
+// alternative to s1.getCluster(2).getNode(1).
+func (s *Site) Node(c, n int) (*Node, error) {
+	cl, err := s.Cluster(c)
+	if err != nil {
+		return nil, err
+	}
+	return cl.Node(n)
+}
+
+// FreeNode releases node n of cluster c (freeNode(2, 1)).
+func (s *Site) FreeNode(c, n int) error {
+	cl, err := s.Cluster(c)
+	if err != nil {
+		return err
+	}
+	return cl.FreeNodeAt(n)
+}
+
+// FreeClusterAt releases the i-th cluster and its nodes (freeCluster(1)).
+func (s *Site) FreeClusterAt(i int) error {
+	cl, err := s.Cluster(i)
+	if err != nil {
+		return err
+	}
+	cl.Free()
+	return nil
+}
+
+// FreeCluster releases a specific member cluster (freeCluster(c2)).
+func (s *Site) FreeCluster(c *Cluster) error {
+	mu.Lock()
+	if c.site != s {
+		mu.Unlock()
+		return fmt.Errorf("%w: cluster", ErrNotMember)
+	}
+	mu.Unlock()
+	c.Free()
+	return nil
+}
+
+// removeLocked detaches c from the cluster list; caller holds mu.
+func (s *Site) removeLocked(c *Cluster) {
+	for i, m := range s.clusters {
+		if m == c {
+			s.clusters = append(s.clusters[:i], s.clusters[i+1:]...)
+			return
+		}
+	}
+}
+
+// Free releases the site, its clusters, and their nodes (freeSite).
+func (s *Site) Free() {
+	mu.Lock()
+	if s.freed {
+		mu.Unlock()
+		return
+	}
+	s.freed = true
+	clusters := append([]*Cluster(nil), s.clusters...)
+	if d := s.domain; d != nil {
+		d.removeLocked(s)
+	}
+	s.domain = nil
+	mu.Unlock()
+	for _, c := range clusters {
+		c.Free()
+	}
+}
+
+// Freed reports whether the site has been released.
+func (s *Site) Freed() bool {
+	mu.Lock()
+	defer mu.Unlock()
+	return s.freed
+}
+
+// Domain returns the site's domain (getDomain), materializing an
+// implicit one for a standalone site.
+func (s *Site) Domain() *Domain {
+	mu.Lock()
+	defer mu.Unlock()
+	if s.domain == nil {
+		d := &Domain{alloc: s.alloc}
+		d.sites = []*Site{s}
+		s.domain = d
+	}
+	return s.domain
+}
+
+// NodeNames returns every host name in the site.
+func (s *Site) NodeNames() []string {
+	mu.Lock()
+	defer mu.Unlock()
+	var out []string
+	for _, c := range s.clusters {
+		out = append(out, c.nodeNamesLocked()...)
+	}
+	return out
+}
+
+// SetAggKey records the aggregation key for an active JRS hierarchy.
+func (s *Site) SetAggKey(k string) {
+	mu.Lock()
+	s.aggKey = k
+	mu.Unlock()
+}
+
+// AggKey returns the aggregation key ("" when not activated).
+func (s *Site) AggKey() string {
+	mu.Lock()
+	defer mu.Unlock()
+	return s.aggKey
+}

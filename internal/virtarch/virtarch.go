@@ -1,0 +1,312 @@
+// Package virtarch implements JavaSymphony's dynamic virtual distributed
+// architectures (paper §3, §4.2): application-side Node, Cluster, Site,
+// and Domain objects that impose a virtual hierarchy on the physical
+// installation, are requested from JRS under optional constraints, can be
+// built incrementally (addNode/addCluster/addSite), navigated
+// (getCluster/getSite/getDomain, getNode), and partially or fully
+// released (freeNode/freeCluster/freeSite/freeDomain).
+//
+// The invariant of §3 — "every node belongs to a unique (cluster, site,
+// domain) triple" — is enforced structurally: a node can be a member of
+// at most one cluster, and navigation from a standalone component lazily
+// materializes its implicit enclosing components.
+package virtarch
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"jsymphony/internal/params"
+)
+
+// Allocator is the slice of JRS that virtual architectures need: picking
+// physical nodes that satisfy constraints, and releasing them.  The core
+// package provides the live implementation backed by the NAS directory.
+type Allocator interface {
+	// Alloc returns n distinct node names satisfying constr.  name pins
+	// an exact host ("" = any); exclude lists nodes that must not be
+	// chosen.
+	Alloc(n int, name string, constr *params.Constraints, exclude []string) ([]string, error)
+	// Free releases previously allocated nodes.
+	Free(nodes []string)
+}
+
+// Errors returned by architecture operations.
+var (
+	ErrFreed     = errors.New("virtarch: component has been freed")
+	ErrOwned     = errors.New("virtarch: node already belongs to a cluster")
+	ErrNotMember = errors.New("virtarch: not a member of this component")
+	ErrRange     = errors.New("virtarch: index out of range")
+)
+
+// mu guards all architecture topology; operations are application-level
+// and rare, so one lock keeps the linked structure trivially consistent.
+var mu sync.Mutex
+
+// Node is one allocated computing node.
+type Node struct {
+	name    string
+	alloc   Allocator
+	cluster *Cluster
+	freed   bool
+}
+
+// NewNode requests an arbitrary node from JRS, optionally restricted by
+// constraints — the paper's "Node n1 = new Node()" / "new Node(constr)".
+func NewNode(a Allocator, constr *params.Constraints) (*Node, error) {
+	names, err := a.Alloc(1, "", constr, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Node{name: names[0], alloc: a}, nil
+}
+
+// NewNamedNode requests the node with the given host name — the paper's
+// "new Node(\"rachel\")".
+func NewNamedNode(a Allocator, name string) (*Node, error) {
+	names, err := a.Alloc(1, name, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Node{name: names[0], alloc: a}, nil
+}
+
+// adoptNode wraps an already-reserved node name (used by cluster/site/
+// domain bulk allocation).
+func adoptNode(a Allocator, name string) *Node {
+	return &Node{name: name, alloc: a}
+}
+
+// Name returns the physical host name.
+func (n *Node) Name() string { return n.name }
+
+// Freed reports whether the node has been released.
+func (n *Node) Freed() bool {
+	mu.Lock()
+	defer mu.Unlock()
+	return n.freed
+}
+
+// Cluster returns the node's cluster (getCluster), materializing an
+// implicit singleton cluster for a standalone node so the unique-triple
+// invariant always holds.
+func (n *Node) Cluster() *Cluster {
+	mu.Lock()
+	defer mu.Unlock()
+	if n.cluster == nil {
+		c := &Cluster{alloc: n.alloc}
+		c.nodes = []*Node{n}
+		n.cluster = c
+	}
+	return n.cluster
+}
+
+// Site returns the node's site (getSite).
+func (n *Node) Site() *Site { return n.Cluster().Site() }
+
+// Domain returns the node's domain (getDomain).
+func (n *Node) Domain() *Domain { return n.Cluster().Site().Domain() }
+
+// Free releases the node from the application (freeNode).
+func (n *Node) Free() {
+	mu.Lock()
+	if n.freed {
+		mu.Unlock()
+		return
+	}
+	n.freed = true
+	if c := n.cluster; c != nil {
+		c.removeLocked(n)
+	}
+	n.cluster = nil
+	a := n.alloc
+	mu.Unlock()
+	if a != nil {
+		a.Free([]string{n.name})
+	}
+}
+
+// Cluster is an ordered collection of nodes (paper: "several nodes can be
+// combined to form a cluster").
+type Cluster struct {
+	alloc  Allocator
+	nodes  []*Node
+	site   *Site
+	freed  bool
+	aggKey string // aggregation key assigned when a JRS hierarchy is active
+}
+
+// NewCluster allocates a cluster of n nodes satisfying constr — the
+// paper's "Cluster c1 = new Cluster(5, constr)".
+func NewCluster(a Allocator, n int, constr *params.Constraints) (*Cluster, error) {
+	names, err := a.Alloc(n, "", constr, nil)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{alloc: a}
+	for _, nm := range names {
+		node := adoptNode(a, nm)
+		node.cluster = c
+		c.nodes = append(c.nodes, node)
+	}
+	return c, nil
+}
+
+// NewEmptyCluster returns a cluster to be filled with AddNode — the
+// paper's "Cluster c2 = new Cluster()".
+func NewEmptyCluster(a Allocator) *Cluster { return &Cluster{alloc: a} }
+
+// AddNode inserts an individually allocated node (addNode).  A node can
+// belong to only one cluster.
+func (c *Cluster) AddNode(n *Node) error {
+	mu.Lock()
+	defer mu.Unlock()
+	if c.freed {
+		return ErrFreed
+	}
+	if n.freed {
+		return fmt.Errorf("%w: node %s", ErrFreed, n.name)
+	}
+	if n.cluster != nil && n.cluster != c {
+		return fmt.Errorf("%w: node %s", ErrOwned, n.name)
+	}
+	if n.cluster == c {
+		return nil
+	}
+	n.cluster = c
+	c.nodes = append(c.nodes, n)
+	return nil
+}
+
+// NrNodes returns the current number of nodes (nrNodes).
+func (c *Cluster) NrNodes() int {
+	mu.Lock()
+	defer mu.Unlock()
+	return len(c.nodes)
+}
+
+// Node returns the i-th node, 0 <= i < NrNodes (getNode).
+func (c *Cluster) Node(i int) (*Node, error) {
+	mu.Lock()
+	defer mu.Unlock()
+	if i < 0 || i >= len(c.nodes) {
+		return nil, fmt.Errorf("%w: node %d of %d", ErrRange, i, len(c.nodes))
+	}
+	return c.nodes[i], nil
+}
+
+// Nodes returns the current member nodes in order.
+func (c *Cluster) Nodes() []*Node {
+	mu.Lock()
+	defer mu.Unlock()
+	return append([]*Node(nil), c.nodes...)
+}
+
+// NodeNames returns the member host names in order.
+func (c *Cluster) NodeNames() []string {
+	mu.Lock()
+	defer mu.Unlock()
+	return c.nodeNamesLocked()
+}
+
+func (c *Cluster) nodeNamesLocked() []string {
+	out := make([]string, len(c.nodes))
+	for i, n := range c.nodes {
+		out[i] = n.name
+	}
+	return out
+}
+
+// FreeNodeAt releases the i-th node (freeNode(2)); remaining nodes are
+// renumbered.
+func (c *Cluster) FreeNodeAt(i int) error {
+	mu.Lock()
+	if i < 0 || i >= len(c.nodes) {
+		mu.Unlock()
+		return fmt.Errorf("%w: node %d of %d", ErrRange, i, len(c.nodes))
+	}
+	n := c.nodes[i]
+	mu.Unlock()
+	n.Free()
+	return nil
+}
+
+// FreeNode releases a specific member (freeNode(n2)).
+func (c *Cluster) FreeNode(n *Node) error {
+	mu.Lock()
+	if n.cluster != c {
+		mu.Unlock()
+		return fmt.Errorf("%w: node %s", ErrNotMember, n.name)
+	}
+	mu.Unlock()
+	n.Free()
+	return nil
+}
+
+// removeLocked detaches n from the member list; caller holds mu.
+func (c *Cluster) removeLocked(n *Node) {
+	for i, m := range c.nodes {
+		if m == n {
+			c.nodes = append(c.nodes[:i], c.nodes[i+1:]...)
+			return
+		}
+	}
+}
+
+// Free releases the whole cluster and all its nodes (freeCluster).
+func (c *Cluster) Free() {
+	mu.Lock()
+	if c.freed {
+		mu.Unlock()
+		return
+	}
+	c.freed = true
+	nodes := append([]*Node(nil), c.nodes...)
+	if s := c.site; s != nil {
+		s.removeLocked(c)
+	}
+	c.site = nil
+	mu.Unlock()
+	for _, n := range nodes {
+		n.Free()
+	}
+}
+
+// Freed reports whether the cluster has been released.
+func (c *Cluster) Freed() bool {
+	mu.Lock()
+	defer mu.Unlock()
+	return c.freed
+}
+
+// Site returns the cluster's site (getSite), materializing an implicit
+// one for a standalone cluster.
+func (c *Cluster) Site() *Site {
+	mu.Lock()
+	defer mu.Unlock()
+	if c.site == nil {
+		s := &Site{alloc: c.alloc}
+		s.clusters = []*Cluster{c}
+		c.site = s
+	}
+	return c.site
+}
+
+// Domain returns the cluster's domain (getDomain).
+func (c *Cluster) Domain() *Domain { return c.Site().Domain() }
+
+// SetAggKey records the component key under which a JRS hierarchy
+// aggregates this cluster; the core package sets it on activation.
+func (c *Cluster) SetAggKey(k string) {
+	mu.Lock()
+	c.aggKey = k
+	mu.Unlock()
+}
+
+// AggKey returns the aggregation key ("" when not activated).
+func (c *Cluster) AggKey() string {
+	mu.Lock()
+	defer mu.Unlock()
+	return c.aggKey
+}

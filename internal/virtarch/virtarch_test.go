@@ -1,0 +1,461 @@
+package virtarch
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"jsymphony/internal/params"
+)
+
+// fakeAlloc hands out nodes from a fixed pool, honoring name pinning,
+// exclusion, and a per-node snapshot for constraints.
+type fakeAlloc struct {
+	pool     []string
+	snaps    map[string]params.Snapshot
+	reserved map[string]int
+	freed    []string
+}
+
+func newFakeAlloc(n int) *fakeAlloc {
+	a := &fakeAlloc{snaps: map[string]params.Snapshot{}, reserved: map[string]int{}}
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("n%02d", i)
+		a.pool = append(a.pool, name)
+		a.snaps[name] = params.Snapshot{
+			params.NodeName: params.Text(name),
+			params.Idle:     params.Float(float64(100 - i)),
+		}
+	}
+	return a
+}
+
+func (a *fakeAlloc) Alloc(n int, name string, constr *params.Constraints, exclude []string) ([]string, error) {
+	ex := map[string]bool{}
+	for _, e := range exclude {
+		ex[e] = true
+	}
+	var out []string
+	for _, cand := range a.pool {
+		if len(out) == n {
+			break
+		}
+		if ex[cand] || (name != "" && cand != name) {
+			continue
+		}
+		if !constr.Eval(a.snaps[cand]) {
+			continue
+		}
+		if a.reserved[cand] > 0 {
+			continue // keep allocations distinct for tests
+		}
+		out = append(out, cand)
+	}
+	if len(out) < n {
+		return nil, fmt.Errorf("fake: only %d of %d available", len(out), n)
+	}
+	for _, nm := range out {
+		a.reserved[nm]++
+	}
+	return out, nil
+}
+
+func (a *fakeAlloc) Free(nodes []string) {
+	for _, n := range nodes {
+		a.freed = append(a.freed, n)
+		if a.reserved[n] > 0 {
+			a.reserved[n]--
+		}
+	}
+}
+
+func TestNewNodeAndNamedNode(t *testing.T) {
+	a := newFakeAlloc(5)
+	n1, err := NewNode(a, nil)
+	if err != nil || n1.Name() != "n00" {
+		t.Fatalf("NewNode = %v, %v", n1, err)
+	}
+	n2, err := NewNamedNode(a, "n03")
+	if err != nil || n2.Name() != "n03" {
+		t.Fatalf("NewNamedNode = %v, %v", n2, err)
+	}
+	if _, err := NewNamedNode(a, "ghost"); err == nil {
+		t.Fatal("NewNamedNode(ghost) succeeded")
+	}
+	constr := params.NewConstraints().MustSet(params.Idle, "<=", 97)
+	n3, err := NewNode(a, constr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n3.Name() == "n00" || n3.Name() == "n01" || n3.Name() == "n02" {
+		t.Fatalf("constraint ignored: got %s", n3.Name())
+	}
+}
+
+func TestNodeImplicitTriple(t *testing.T) {
+	a := newFakeAlloc(3)
+	n, _ := NewNode(a, nil)
+	c := n.Cluster()
+	if c == nil || c.NrNodes() != 1 {
+		t.Fatalf("implicit cluster wrong: %v", c)
+	}
+	if n.Cluster() != c {
+		t.Fatal("implicit cluster not stable")
+	}
+	s := n.Site()
+	if s == nil || s.NrClusters() != 1 || s.NrNodes() != 1 {
+		t.Fatalf("implicit site wrong")
+	}
+	d := n.Domain()
+	if d == nil || d.NrSites() != 1 || d.NrNodes() != 1 {
+		t.Fatalf("implicit domain wrong")
+	}
+	// Same triple every time (unique (cluster, site, domain)).
+	if n.Site() != s || n.Domain() != d {
+		t.Fatal("triple not unique")
+	}
+}
+
+func TestNodeFree(t *testing.T) {
+	a := newFakeAlloc(3)
+	n, _ := NewNode(a, nil)
+	c := n.Cluster()
+	n.Free()
+	if !n.Freed() || c.NrNodes() != 0 {
+		t.Fatalf("free: freed=%v cluster=%d", n.Freed(), c.NrNodes())
+	}
+	if len(a.freed) != 1 || a.freed[0] != "n00" {
+		t.Fatalf("allocator not told: %v", a.freed)
+	}
+	n.Free() // idempotent
+	if len(a.freed) != 1 {
+		t.Fatal("double free reached allocator")
+	}
+	if names := n.NodeNames(); names != nil {
+		t.Fatalf("freed node still has names: %v", names)
+	}
+}
+
+func TestClusterAllocation(t *testing.T) {
+	a := newFakeAlloc(8)
+	c, err := NewCluster(a, 5, nil)
+	if err != nil || c.NrNodes() != 5 {
+		t.Fatalf("NewCluster = %d nodes, %v", c.NrNodes(), err)
+	}
+	// Node numbering 0..nrNodes-1.
+	for i := 0; i < 5; i++ {
+		n, err := c.Node(i)
+		if err != nil {
+			t.Fatalf("Node(%d): %v", i, err)
+		}
+		if n.Cluster() != c {
+			t.Fatal("member's cluster backref wrong")
+		}
+	}
+	if _, err := c.Node(5); err == nil {
+		t.Fatal("out of range accepted")
+	}
+	if _, err := c.Node(-1); err == nil {
+		t.Fatal("negative index accepted")
+	}
+	if _, err := NewCluster(a, 10, nil); err == nil {
+		t.Fatal("oversized cluster allocated")
+	}
+}
+
+func TestClusterAddAndFreeNode(t *testing.T) {
+	a := newFakeAlloc(6)
+	n1, _ := NewNode(a, nil)
+	n2, _ := NewNode(a, nil)
+	n3, _ := NewNode(a, nil)
+	c := NewEmptyCluster(a)
+	for _, n := range []*Node{n1, n2, n3} {
+		if err := c.AddNode(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.NrNodes() != 3 {
+		t.Fatalf("NrNodes = %d", c.NrNodes())
+	}
+	// A node belongs to one cluster.
+	c2 := NewEmptyCluster(a)
+	if err := c2.AddNode(n1); err == nil {
+		t.Fatal("node added to two clusters")
+	}
+	if err := c.AddNode(n1); err != nil {
+		t.Fatal("re-adding to own cluster must be a no-op")
+	}
+	// freeNode(n2): renumbering.
+	if err := c.FreeNode(n2); err != nil {
+		t.Fatal(err)
+	}
+	if c.NrNodes() != 2 {
+		t.Fatalf("NrNodes after free = %d", c.NrNodes())
+	}
+	if got, _ := c.Node(1); got != n3 {
+		t.Fatal("renumbering wrong")
+	}
+	// freeNode by index.
+	if err := c.FreeNodeAt(0); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := c.Node(0); got != n3 {
+		t.Fatal("index free wrong")
+	}
+	if err := c.FreeNode(n2); err == nil {
+		t.Fatal("freeing non-member accepted")
+	}
+}
+
+func TestClusterFreeReleasesAll(t *testing.T) {
+	a := newFakeAlloc(5)
+	c, _ := NewCluster(a, 3, nil)
+	nodes := c.Nodes()
+	c.Free()
+	if !c.Freed() || c.NrNodes() != 0 {
+		t.Fatal("cluster not freed")
+	}
+	for _, n := range nodes {
+		if !n.Freed() {
+			t.Errorf("member %s not freed", n.Name())
+		}
+	}
+	if len(a.freed) != 3 {
+		t.Fatalf("allocator got %d frees", len(a.freed))
+	}
+	if err := c.AddNode(&Node{name: "x"}); err == nil {
+		t.Fatal("AddNode on freed cluster accepted")
+	}
+	c.Free() // idempotent
+}
+
+func TestSiteConstruction(t *testing.T) {
+	a := newFakeAlloc(12)
+	s, err := NewSite(a, []int{2, 4, 5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NrClusters() != 3 || s.NrNodes() != 11 {
+		t.Fatalf("site = %d clusters, %d nodes", s.NrClusters(), s.NrNodes())
+	}
+	// Clusters hold distinct nodes.
+	seen := map[string]bool{}
+	for _, name := range s.NodeNames() {
+		if seen[name] {
+			t.Fatalf("node %s in two clusters", name)
+		}
+		seen[name] = true
+	}
+	// Both navigation alternatives of the paper.
+	c1, err := s.Cluster(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nA, err := c1.Node(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nB, err := s.Node(1, 2)
+	if err != nil || nA != nB {
+		t.Fatal("getNode alternatives disagree")
+	}
+	if c1.Site() != s {
+		t.Fatal("cluster site backref wrong")
+	}
+	// Over-allocation rolls back.
+	before := len(a.freed)
+	if _, err := NewSite(a, []int{1, 5}, nil); err == nil {
+		t.Fatal("oversized site allocated")
+	}
+	if len(a.freed) == before {
+		t.Fatal("failed site allocation did not roll back")
+	}
+}
+
+func TestSiteFreeVariants(t *testing.T) {
+	a := newFakeAlloc(12)
+	s, _ := NewSite(a, []int{2, 2, 2}, nil)
+	if err := s.FreeNode(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if s.NrNodes() != 5 {
+		t.Fatalf("NrNodes = %d", s.NrNodes())
+	}
+	if err := s.FreeClusterAt(0); err != nil {
+		t.Fatal(err)
+	}
+	if s.NrClusters() != 2 || s.NrNodes() != 3 {
+		t.Fatalf("after FreeClusterAt: %d clusters %d nodes", s.NrClusters(), s.NrNodes())
+	}
+	c, _ := s.Cluster(1)
+	if err := s.FreeCluster(c); err != nil {
+		t.Fatal(err)
+	}
+	if s.NrClusters() != 1 {
+		t.Fatalf("clusters = %d", s.NrClusters())
+	}
+	s.Free()
+	if !s.Freed() || s.NrClusters() != 0 {
+		t.Fatal("site free incomplete")
+	}
+}
+
+func TestSiteAddCluster(t *testing.T) {
+	a := newFakeAlloc(8)
+	c1, _ := NewCluster(a, 2, nil)
+	c2, _ := NewCluster(a, 2, nil)
+	s := NewEmptySite(a)
+	if err := s.AddCluster(c1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddCluster(c2); err != nil {
+		t.Fatal(err)
+	}
+	if s.NrClusters() != 2 {
+		t.Fatal("AddCluster lost one")
+	}
+	other := NewEmptySite(a)
+	if err := other.AddCluster(c1); err == nil {
+		t.Fatal("cluster added to two sites")
+	}
+	if err := s.AddCluster(c1); err != nil {
+		t.Fatal("re-add to own site must be no-op")
+	}
+}
+
+func TestDomainConstruction(t *testing.T) {
+	a := newFakeAlloc(20)
+	// The paper's example: {{1,3,5},{6,4}}.
+	d, err := NewDomain(a, [][]int{{1, 3, 5}, {6, 4}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NrSites() != 2 || d.NrClusters() != 5 || d.NrNodes() != 19 {
+		t.Fatalf("domain = %d sites %d clusters %d nodes", d.NrSites(), d.NrClusters(), d.NrNodes())
+	}
+	// Navigation alternatives.
+	nA, err := d.Node(0, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	site0, _ := d.Site(0)
+	cl1, _ := site0.Cluster(1)
+	nB, _ := cl1.Node(2)
+	if nA != nB {
+		t.Fatal("navigation alternatives disagree")
+	}
+	if site0.Domain() != d || cl1.Domain() != d || nA.Domain() != d {
+		t.Fatal("domain backrefs wrong")
+	}
+	// Topology flattening.
+	topo := d.Topology()
+	if len(topo) != 2 || len(topo[0]) != 3 || len(topo[1]) != 2 {
+		t.Fatalf("topology shape wrong: %v", topo)
+	}
+	if len(topo[0][2]) != 5 || len(topo[1][0]) != 6 {
+		t.Fatalf("cluster sizes wrong: %v", topo)
+	}
+}
+
+func TestDomainFreeVariants(t *testing.T) {
+	a := newFakeAlloc(20)
+	d, _ := NewDomain(a, [][]int{{2, 2}, {2}}, nil)
+	if err := d.FreeNode(0, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if d.NrNodes() != 5 {
+		t.Fatalf("NrNodes = %d", d.NrNodes())
+	}
+	if err := d.FreeCluster(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if d.NrClusters() != 2 {
+		t.Fatalf("NrClusters = %d", d.NrClusters())
+	}
+	if err := d.FreeSiteAt(1); err != nil {
+		t.Fatal(err)
+	}
+	if d.NrSites() != 1 {
+		t.Fatalf("NrSites = %d", d.NrSites())
+	}
+	s0, _ := d.Site(0)
+	if err := d.FreeSite(s0); err != nil {
+		t.Fatal(err)
+	}
+	d.Free()
+	if !d.Freed() || d.NrNodes() != 0 {
+		t.Fatal("domain free incomplete")
+	}
+	// Every allocated node was eventually released.
+	sort.Strings(a.freed)
+	if len(a.freed) != 6 {
+		t.Fatalf("freed %d of 6 nodes: %v", len(a.freed), a.freed)
+	}
+}
+
+func TestDomainAddSite(t *testing.T) {
+	a := newFakeAlloc(10)
+	s1, _ := NewSite(a, []int{2}, nil)
+	s2, _ := NewSite(a, []int{2}, nil)
+	d := NewEmptyDomain(a)
+	if err := d.AddSite(s1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddSite(s2); err != nil {
+		t.Fatal(err)
+	}
+	if d.NrSites() != 2 {
+		t.Fatal("AddSite lost one")
+	}
+	other := NewEmptyDomain(a)
+	if err := other.AddSite(s1); err == nil {
+		t.Fatal("site added to two domains")
+	}
+}
+
+func TestComponentInterface(t *testing.T) {
+	a := newFakeAlloc(10)
+	d, _ := NewDomain(a, [][]int{{2, 2}}, nil)
+	comps := []Component{d}
+	s, _ := d.Site(0)
+	comps = append(comps, s)
+	c, _ := s.Cluster(0)
+	comps = append(comps, c)
+	n, _ := c.Node(0)
+	comps = append(comps, n)
+	wants := []int{4, 4, 2, 1}
+	for i, comp := range comps {
+		if got := len(comp.NodeNames()); got != wants[i] {
+			t.Errorf("component %d has %d nodes, want %d", i, got, wants[i])
+		}
+		if comp.AggKey() != "" {
+			t.Errorf("component %d has agg key before activation", i)
+		}
+	}
+	c.SetAggKey("cluster:0:0")
+	s.SetAggKey("site:0")
+	d.SetAggKey("domain")
+	if c.AggKey() != "cluster:0:0" || s.AggKey() != "site:0" || d.AggKey() != "domain" {
+		t.Fatal("agg keys lost")
+	}
+}
+
+func TestConstraintRestrictedSite(t *testing.T) {
+	a := newFakeAlloc(10)
+	constr := params.NewConstraints().MustSet(params.Idle, ">=", 95)
+	// Only n00..n05 have idle >= 95.
+	s, err := NewSite(a, []int{3, 3}, constr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range s.NodeNames() {
+		var idx int
+		fmt.Sscanf(name, "n%02d", &idx)
+		if idx > 5 {
+			t.Errorf("node %s violates constraint", name)
+		}
+	}
+	if _, err := NewSite(a, []int{3}, constr); err == nil {
+		t.Fatal("constraint-starved site allocated")
+	}
+}

@@ -1,0 +1,248 @@
+// Package mandelbrot is a second evaluation workload: a master/slave
+// Mandelbrot-set renderer.  Unlike the paper's matrix multiplication —
+// whose operand shipping makes it communication-heavy — Mandelbrot tasks
+// carry a few bytes each way, so the workload is compute-bound and
+// exposes the *dynamic load balancing* side of the master/slave pattern:
+// fast workstations of the heterogeneous cluster automatically absorb
+// more rows, and the per-node task counts reported in Stats show it.
+package mandelbrot
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"jsymphony"
+)
+
+// ClassName is the registered class of the renderer object.
+const ClassName = "mandelbrot.Renderer"
+
+func init() {
+	jsymphony.RegisterClass(ClassName, 4096, func() any { return &Renderer{} })
+	jsymphony.RegisterWireType(RowSpec{})
+	jsymphony.RegisterWireType(RowResult{})
+}
+
+// Renderer computes escape-iteration counts for pixel rows.
+type Renderer struct {
+	Width, Height int
+	MaxIter       int
+	Model         bool
+
+	mu sync.Mutex // one-sided Init races the first Render
+}
+
+// RowSpec is one task: a band of image rows.
+type RowSpec struct {
+	Row0, Rows int
+}
+
+// RowResult carries the iteration counts back (one byte per pixel, the
+// count clamped to 255).
+type RowResult struct {
+	Row0, Rows int
+	Pixels     []byte
+	Flops      float64 // actual work performed (for balance accounting)
+}
+
+// Init configures the view (fixed to the classic [-2.5,1]×[-1,1] frame).
+func (r *Renderer) Init(width, height, maxIter int, model bool) {
+	r.mu.Lock()
+	r.Width, r.Height, r.MaxIter, r.Model = width, height, maxIter, model
+	r.mu.Unlock()
+}
+
+// config waits out the one-sided Init (method executions are
+// concurrent, so a Render dispatched right after the Init post may start
+// first).
+func (r *Renderer) config(ctx *jsymphony.Ctx) (width, height, maxIter int, model bool, err error) {
+	for i := 0; ; i++ {
+		r.mu.Lock()
+		width, height, maxIter, model = r.Width, r.Height, r.MaxIter, r.Model
+		r.mu.Unlock()
+		if width > 0 {
+			return width, height, maxIter, model, nil
+		}
+		if ctx.RT == nil || i > 5000 {
+			return 0, 0, 0, false, errors.New("mandelbrot: renderer not initialized")
+		}
+		ctx.P.Sleep(2 * time.Millisecond)
+	}
+}
+
+// Render computes one band.
+func (r *Renderer) Render(ctx *jsymphony.Ctx, t RowSpec) (RowResult, error) {
+	width, height, maxIter, model, err := r.config(ctx)
+	if err != nil {
+		return RowResult{}, err
+	}
+	out := RowResult{Row0: t.Row0, Rows: t.Rows}
+	if !model {
+		out.Pixels = make([]byte, t.Rows*width)
+	}
+	totalIters := 0
+	for y := t.Row0; y < t.Row0+t.Rows; y++ {
+		ci := -1 + 2*float64(y)/float64(height)
+		for x := 0; x < width; x++ {
+			cr := -2.5 + 3.5*float64(x)/float64(width)
+			zr, zi := 0.0, 0.0
+			it := 0
+			for ; it < maxIter && zr*zr+zi*zi <= 4; it++ {
+				zr, zi = zr*zr-zi*zi+cr, 2*zr*zi+ci
+			}
+			totalIters += it
+			if out.Pixels != nil {
+				v := it
+				if v > 255 {
+					v = 255
+				}
+				out.Pixels[(y-t.Row0)*width+x] = byte(v)
+			}
+		}
+	}
+	// ~10 flops per inner iteration; in modeled mode the iterations were
+	// still counted above (cheap at small sizes), charged to the
+	// simulated CPU either way.
+	out.Flops = 10 * float64(totalIters)
+	ctx.Compute(out.Flops)
+	return out, nil
+}
+
+// Config parameterizes a run.
+type Config struct {
+	Width, Height int
+	MaxIter       int
+	RowsPerTask   int
+	Nodes         int
+	Model         bool // skip shipping pixels (timing studies)
+}
+
+// Stats reports a run, including the per-node balance.
+type Stats struct {
+	Elapsed     time.Duration
+	Tasks       int
+	TasksByNode map[string]int // dynamic balance: tasks each node absorbed
+	FlopsByNode map[string]float64
+	Image       []byte // height×width iteration bytes (nil in model mode)
+}
+
+// Run renders the frame with the master/slave pattern.
+func Run(js *jsymphony.JS, cfg Config) (Stats, error) {
+	if cfg.Width <= 0 || cfg.Height <= 0 || cfg.Nodes <= 0 {
+		return Stats{}, errors.New("mandelbrot: bad config")
+	}
+	if cfg.MaxIter <= 0 {
+		cfg.MaxIter = 256
+	}
+	rows := cfg.RowsPerTask
+	if rows <= 0 {
+		rows = cfg.Height / (8 * cfg.Nodes)
+		if rows < 1 {
+			rows = 1
+		}
+	}
+	cluster, err := js.NewCluster(cfg.Nodes, nil)
+	if err != nil {
+		return Stats{}, err
+	}
+	defer cluster.Free()
+	cb := js.NewCodebase()
+	if err := cb.Add(ClassName); err != nil {
+		return Stats{}, err
+	}
+	if err := cb.Load(cluster); err != nil {
+		return Stats{}, err
+	}
+
+	start := js.Now()
+	n := cluster.NrNodes()
+	workers := make([]*jsymphony.Object, n)
+	names := make([]string, n)
+	for i := 0; i < n; i++ {
+		node, err := cluster.Node(i)
+		if err != nil {
+			return Stats{}, err
+		}
+		names[i] = node.Name()
+		workers[i], err = js.NewObject(ClassName, node, nil)
+		if err != nil {
+			return Stats{}, err
+		}
+		if err := workers[i].OInvoke("Init", cfg.Width, cfg.Height, cfg.MaxIter, cfg.Model); err != nil {
+			return Stats{}, err
+		}
+	}
+
+	nrTasks := (cfg.Height + rows - 1) / rows
+	st := Stats{
+		Tasks:       nrTasks,
+		TasksByNode: make(map[string]int, n),
+		FlopsByNode: make(map[string]float64, n),
+	}
+	if !cfg.Model {
+		st.Image = make([]byte, cfg.Width*cfg.Height)
+	}
+
+	busy := make([]int, n)
+	handles := make([]*jsymphony.ResultHandle, n)
+	for i := range busy {
+		busy[i] = -1
+	}
+	next, outstanding := 0, 0
+	for next < nrTasks || outstanding > 0 {
+		progressed := false
+		for i := 0; i < n; i++ {
+			if busy[i] >= 0 && handles[i].IsReady() {
+				res, err := handles[i].Result()
+				if err != nil {
+					return Stats{}, err
+				}
+				r := res.(RowResult)
+				if st.Image != nil {
+					copy(st.Image[r.Row0*cfg.Width:], r.Pixels)
+				}
+				st.TasksByNode[names[i]]++
+				st.FlopsByNode[names[i]] += r.Flops
+				busy[i] = -1
+				outstanding--
+				progressed = true
+			}
+			if busy[i] < 0 && next < nrTasks {
+				row0 := next * rows
+				cnt := rows
+				if row0+cnt > cfg.Height {
+					cnt = cfg.Height - row0
+				}
+				h, err := workers[i].AInvoke("Render", RowSpec{Row0: row0, Rows: cnt})
+				if err != nil {
+					return Stats{}, err
+				}
+				handles[i] = h
+				busy[i] = next
+				next++
+				outstanding++
+				progressed = true
+			}
+		}
+		if !progressed {
+			js.Sleep(time.Millisecond)
+		}
+	}
+	for _, w := range workers {
+		_ = w.Free()
+	}
+	st.Elapsed = js.Now() - start
+	return st, nil
+}
+
+// Render computes the frame sequentially, as verification reference.
+func Render(width, height, maxIter int) []byte {
+	r := &Renderer{Width: width, Height: height, MaxIter: maxIter}
+	out := make([]byte, width*height)
+	for y := 0; y < height; y++ {
+		res, _ := r.Render(&jsymphony.Ctx{}, RowSpec{Row0: y, Rows: 1})
+		copy(out[y*width:], res.Pixels)
+	}
+	return out
+}

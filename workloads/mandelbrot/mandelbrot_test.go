@@ -1,0 +1,91 @@
+package mandelbrot
+
+import (
+	"bytes"
+	"testing"
+
+	"jsymphony"
+)
+
+func TestRendererReference(t *testing.T) {
+	img := Render(32, 24, 64)
+	if len(img) != 32*24 {
+		t.Fatalf("image size %d", len(img))
+	}
+	// The frame must contain both interior (high count) and exterior
+	// (low count) pixels — a degenerate all-equal image means the
+	// iteration loop is broken.
+	lo, hi := img[0], img[0]
+	for _, p := range img {
+		if p < lo {
+			lo = p
+		}
+		if p > hi {
+			hi = p
+		}
+	}
+	if lo == hi {
+		t.Fatalf("degenerate image: all pixels %d", lo)
+	}
+	// Point (0,0) in the complex plane is inside the set: its pixel must
+	// reach MaxIter (clamped).  x maps −2.5..1 → 0..W, so cr=0 at
+	// x=W·(2.5/3.5); ci=0 at y=H/2.
+	w := 32.0
+	x := int(w * 2.5 / 3.5)
+	y := 24 / 2
+	if img[y*32+x] != 64 {
+		t.Fatalf("origin pixel = %d, want MaxIter", img[y*32+x])
+	}
+}
+
+func TestRendererNotInitialized(t *testing.T) {
+	r := &Renderer{}
+	if _, err := r.Render(&jsymphony.Ctx{}, RowSpec{Row0: 0, Rows: 1}); err == nil {
+		t.Fatal("uninitialized renderer accepted work")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(nil, Config{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}
+
+func TestDistributedMatchesReference(t *testing.T) {
+	env := jsymphony.NewSimEnv(jsymphony.PaperCluster(), jsymphony.IdleProfile, 1, jsymphony.EnvOptions{})
+	env.RunMain("", func(js *jsymphony.JS) {
+		cfg := Config{Width: 48, Height: 32, MaxIter: 64, Nodes: 5}
+		st, err := Run(js, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(st.Image, Render(48, 32, 64)) {
+			t.Fatal("distributed image differs from reference")
+		}
+		total := 0
+		for _, c := range st.TasksByNode {
+			total += c
+		}
+		if total != st.Tasks {
+			t.Fatalf("task accounting: %d by node vs %d total", total, st.Tasks)
+		}
+	})
+}
+
+func TestHeterogeneousBalance(t *testing.T) {
+	// On the paper cluster at night, a fast Ultra must absorb more work
+	// than a slow Sparcstation.
+	env := jsymphony.NewSimEnv(jsymphony.PaperCluster(), jsymphony.Night, 1, jsymphony.EnvOptions{})
+	env.RunMain("", func(js *jsymphony.JS) {
+		cfg := Config{Width: 128, Height: 128, MaxIter: 128, Nodes: 13, Model: true}
+		st, err := Run(js, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast := st.FlopsByNode["milena"] + st.FlopsByNode["rachel"] // Ultra 10/440s
+		slow := st.FlopsByNode["marta"] + st.FlopsByNode["nora"]    // Sparc 10/40s
+		if fast <= slow {
+			t.Fatalf("no dynamic balance: fast pair %g flops, slow pair %g", fast, slow)
+		}
+	})
+}

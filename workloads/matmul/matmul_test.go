@@ -1,0 +1,118 @@
+package matmul
+
+import (
+	"math"
+	"testing"
+
+	"jsymphony"
+)
+
+func TestMultiplyReference(t *testing.T) {
+	// 2x2 hand-checked product.
+	A := []float32{1, 2, 3, 4}
+	B := []float32{5, 6, 7, 8}
+	C := Multiply(A, B, 2)
+	want := []float32{19, 22, 43, 50}
+	for i := range want {
+		if C[i] != want[i] {
+			t.Fatalf("C = %v, want %v", C, want)
+		}
+	}
+}
+
+func TestMatrixLocalLifecycle(t *testing.T) {
+	// The worker class used as a plain local object (nil-RT context).
+	m := &Matrix{}
+	ctx := &jsymphony.Ctx{}
+	m.Init(ctx, 3, 3, []float32{1, 0, 0, 0, 1, 0, 0, 0, 1}, false)
+	res, err := m.Multiply(ctx, Task{Row0: 0, Rows: 3, A: []float32{1, 2, 3, 4, 5, 6, 7, 8, 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Multiplying by identity returns A.
+	for i, v := range []float32{1, 2, 3, 4, 5, 6, 7, 8, 9} {
+		if res.C[i] != v {
+			t.Fatalf("C[%d] = %v, want %v", i, res.C[i], v)
+		}
+	}
+}
+
+func TestMultiplyTaskValidation(t *testing.T) {
+	m := &Matrix{}
+	ctx := &jsymphony.Ctx{}
+	m.Init(ctx, 2, 2, []float32{1, 2, 3, 4}, false)
+	if _, err := m.Multiply(ctx, Task{Row0: 0, Rows: 1, A: []float32{1}}); err == nil {
+		t.Fatal("short task accepted")
+	}
+}
+
+func TestModelModeSkipsArithmetic(t *testing.T) {
+	m := &Matrix{}
+	ctx := &jsymphony.Ctx{}
+	m.Init(ctx, 2, 2, []float32{1, 2, 3, 4}, true)
+	res, err := m.Multiply(ctx, Task{Row0: 0, Rows: 2, A: []float32{1, 2, 3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.C {
+		if v != 0 {
+			t.Fatal("model mode executed arithmetic")
+		}
+	}
+}
+
+func TestAuxFillDeterministic(t *testing.T) {
+	a := &Aux{}
+	x := a.Fill(16, 7)
+	y := a.Fill(16, 7)
+	z := a.Fill(16, 8)
+	if len(x) != 16 {
+		t.Fatalf("len = %d", len(x))
+	}
+	same, diff := true, false
+	for i := range x {
+		if x[i] != y[i] {
+			same = false
+		}
+		if x[i] != z[i] {
+			diff = true
+		}
+	}
+	if !same || !diff {
+		t.Fatalf("determinism wrong: same=%v diff=%v", same, diff)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(nil, Config{N: 0, Nodes: 1}); err == nil {
+		t.Fatal("N=0 accepted")
+	}
+	if _, err := Run(nil, Config{N: 8, Nodes: 0}); err == nil {
+		t.Fatal("Nodes=0 accepted")
+	}
+	if _, err := RunSequential(nil, Config{N: 0}); err == nil {
+		t.Fatal("sequential N=0 accepted")
+	}
+}
+
+func TestSequentialMatchesReference(t *testing.T) {
+	env := jsymphony.NewSimEnv(jsymphony.UniformCluster(jsymphony.Ultra10_300, 1),
+		jsymphony.IdleProfile, 1, jsymphony.EnvOptions{})
+	env.RunMain("", func(js *jsymphony.JS) {
+		cfg := Config{N: 16, Model: false, Seed: 5}
+		st, err := RunSequential(js, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(st.C) != 16*16 {
+			t.Fatalf("result size %d", len(st.C))
+		}
+		var norm float64
+		for _, v := range st.C {
+			norm += float64(v)
+		}
+		if math.IsNaN(norm) || norm == 0 {
+			t.Fatalf("degenerate product, norm = %v", norm)
+		}
+	})
+}
