@@ -2,11 +2,14 @@
 //
 // Usage:
 //
-//	jsbench -experiment fig5 [-sizes 200,400,600,800] [-maxnodes 13] [-seed 1]
+//	jsbench -experiment fig5 [-sizes 200,400,600,800] [-maxnodes 13] [-seed 1] [-metricsout fig5.json]
 //
 // It prints the Figure 5 table (execution time of the master/slave
 // matrix multiplication by node count, for each problem size, day and
 // night) and a PASS/FAIL report of the paper's qualitative claims.
+// With -metricsout, it also writes each run's full metrics snapshot
+// (counters, gauges, sim-time histograms) to the named JSON file; the
+// output is deterministic for a fixed seed.
 package main
 
 import (
@@ -24,11 +27,12 @@ func main() {
 	sizes := flag.String("sizes", "200,400,600,800", "comma-separated problem sizes")
 	maxNodes := flag.Int("maxnodes", 13, "sweep node counts 1..maxnodes")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	metricsOut := flag.String("metricsout", "", "write per-run metrics snapshots to this JSON file (fig5 only)")
 	flag.Parse()
 
 	switch *experiment {
 	case "fig5":
-		runFig5(*sizes, *maxNodes, *seed)
+		runFig5(*sizes, *maxNodes, *seed, *metricsOut)
 	case "mandel":
 		runMandel(*maxNodes, *seed)
 	case "automigrate":
@@ -57,7 +61,7 @@ func runMandel(maxNodes int, seed int64) {
 	experiments.WriteMandel(os.Stdout, pts)
 }
 
-func runFig5(sizeList string, maxNodes int, seed int64) {
+func runFig5(sizeList string, maxNodes int, seed int64, metricsOut string) {
 	var sizes []int
 	for _, s := range strings.Split(sizeList, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(s))
@@ -74,6 +78,19 @@ func runFig5(sizeList string, maxNodes int, seed int64) {
 	})
 	experiments.WriteFigure5(os.Stdout, pts)
 	fmt.Println()
+	if metricsOut != "" {
+		f, err := os.Create(metricsOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jsbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := experiments.WriteFigure5Metrics(f, pts); err != nil {
+			fmt.Fprintf(os.Stderr, "jsbench: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("metrics snapshots written to %s\n\n", metricsOut)
+	}
 	lines, ok := experiments.ShapeReport(pts)
 	fmt.Println("Shape checks against the paper's claims:")
 	for _, l := range lines {

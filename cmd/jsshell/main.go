@@ -6,7 +6,12 @@
 // virtual time advances by -tick per entered command (a simulation has
 // no wall clock), and failure injection (kill/revive) becomes available.
 //
-// Type "help" at the prompt for commands.
+// Type "help" at the prompt for commands.  Beyond node/object/parameter
+// inspection, the shell exposes the installation's observability layer:
+// "metrics [prefix]" dumps the registry in the Prometheus text format,
+// "hist <name>" renders one histogram, "spans [app[/obj]]" lists
+// invocation spans with their queue/service/wire decomposition, and
+// "top" shows per-node utilization and traffic.
 package main
 
 import (

@@ -18,12 +18,14 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"text/tabwriter"
 	"time"
 
 	"jsymphony"
+	"jsymphony/internal/metrics"
 	"jsymphony/workloads/matmul"
 )
 
@@ -33,6 +35,12 @@ type Figure5Point struct {
 	N       int           // problem size (N×N matrices)
 	Nodes   int           // workstations used (1 = sequential baseline)
 	Elapsed time.Duration // virtual execution time
+
+	// Metrics is the run's full metrics snapshot, taken when the
+	// simulation quiesced.  All of its timing figures come from the
+	// virtual clock, so two runs with equal (profile, N, nodes, seed)
+	// produce byte-identical snapshots.
+	Metrics metrics.Snapshot
 }
 
 // Figure5Config parameterizes the sweep.
@@ -77,7 +85,10 @@ func RunFigure5Point(profile jsymphony.LoadProfile, n, nodes int, seed int64) Fi
 		}
 		elapsed = st.Elapsed
 	})
-	return Figure5Point{Profile: profile.Name, N: n, Nodes: nodes, Elapsed: elapsed}
+	return Figure5Point{
+		Profile: profile.Name, N: n, Nodes: nodes, Elapsed: elapsed,
+		Metrics: env.World().Metrics().Snapshot(),
+	}
 }
 
 // Figure5 runs the full sweep: every size × node count × {day, night}.
@@ -130,6 +141,30 @@ func WriteFigure5(w io.Writer, pts []Figure5Point) {
 		fmt.Fprintln(tw)
 	}
 	tw.Flush()
+}
+
+// WriteFigure5Metrics emits the sweep's per-cell metrics snapshots as a
+// JSON array, one element per run.  The encoding is deterministic:
+// rerunning the sweep with the same configuration produces byte-identical
+// output.
+func WriteFigure5Metrics(w io.Writer, pts []Figure5Point) error {
+	type cell struct {
+		Profile   string           `json:"profile"`
+		N         int              `json:"n"`
+		Nodes     int              `json:"nodes"`
+		ElapsedUS int64            `json:"elapsed_us"`
+		Metrics   metrics.Snapshot `json:"metrics"`
+	}
+	cells := make([]cell, len(pts))
+	for i, pt := range pts {
+		cells[i] = cell{
+			Profile: pt.Profile, N: pt.N, Nodes: pt.Nodes,
+			ElapsedUS: pt.Elapsed.Microseconds(), Metrics: pt.Metrics,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(cells)
 }
 
 // ShapeReport checks the paper's qualitative claims against a sweep and

@@ -53,6 +53,38 @@ func TestWriteFigure5Format(t *testing.T) {
 	}
 }
 
+// TestFigure5MetricsDeterminism reruns one cell with the same seed and
+// demands byte-identical metrics snapshots: every timing in the registry
+// derives from the virtual clock, so nothing about the host machine may
+// leak in.
+func TestFigure5MetricsDeterminism(t *testing.T) {
+	a := RunFigure5Point(jsymphony.Night, 120, 4, 7)
+	b := RunFigure5Point(jsymphony.Night, 120, 4, 7)
+	var ja, jb strings.Builder
+	if err := a.Metrics.WriteJSON(&ja); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Metrics.WriteJSON(&jb); err != nil {
+		t.Fatal(err)
+	}
+	if ja.String() != jb.String() {
+		t.Fatalf("same-seed runs produced different metrics snapshots:\n--- run 1\n%s\n--- run 2\n%s",
+			ja.String(), jb.String())
+	}
+	if len(a.Metrics.Counters) == 0 || len(a.Metrics.Histograms) == 0 {
+		t.Fatalf("snapshot suspiciously empty: %+v", a.Metrics)
+	}
+	var mb strings.Builder
+	if err := WriteFigure5Metrics(&mb, []Figure5Point{a}); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"profile": "night"`, `"nodes": 4`, `"js_rmi_calls_total`} {
+		if !strings.Contains(mb.String(), want) {
+			t.Fatalf("metrics export missing %q:\n%.2000s", want, mb.String())
+		}
+	}
+}
+
 func TestConfigDefaults(t *testing.T) {
 	c := Figure5Config{}.withDefaults()
 	if len(c.Sizes) != 4 || c.MaxNodes != 13 || c.Seed != 1 {

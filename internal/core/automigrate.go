@@ -2,11 +2,14 @@ package core
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 	"time"
 
 	"jsymphony/internal/nas"
 	"jsymphony/internal/params"
 	"jsymphony/internal/sched"
+	"jsymphony/internal/trace"
 	"jsymphony/internal/virtarch"
 )
 
@@ -78,6 +81,14 @@ func (a *App) autoMigrateOnce(p sched.Proc) {
 		if len(violated) == 0 {
 			continue
 		}
+		names := make([]string, 0, len(violated))
+		for n := range violated {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		a.world.emit(trace.Event{Kind: trace.AutoMigrateDecision, Node: a.rt.Node(), App: a.id,
+			Detail: "evacuating " + strings.Join(names, ",")})
+		a.world.reg.Counter("js_core_automigrate_decisions_total").Inc()
 		a.evacuate(p, va, constr, violated)
 	}
 }

@@ -166,7 +166,7 @@ func (o *Object) Node(p sched.Proc) (*virtarch.Node, error) {
 
 // SInvoke is the synchronous (blocking) method invocation of §4.5.
 func (o *Object) SInvoke(p sched.Proc, method string, args ...any) (any, error) {
-	return o.app.invokeObject(p, o.id, method, args)
+	return o.app.invokeObject(p, o.id, method, args, trace.SpanSync)
 }
 
 // AInvoke is the asynchronous invocation of §4.5: it returns immediately
@@ -179,7 +179,7 @@ func (o *Object) AInvoke(p sched.Proc, method string, args ...any) (*Handle, err
 	// "One thread for every asynchronous method invocation in order to
 	// overcome blocking Java/RMI" (§5.2).
 	o.app.world.s.Spawn(fmt.Sprintf("ainvoke:%s/%d.%s", o.app.id, o.id, method), func(wp sched.Proc) {
-		res, err := o.app.invokeObject(wp, o.id, method, args)
+		res, err := o.app.invokeObject(wp, o.id, method, args, trace.SpanAsync)
 		h.deliver(res, err)
 	})
 	return h, nil
@@ -194,12 +194,17 @@ func (o *Object) OInvoke(p sched.Proc, method string, args ...any) error {
 	if err != nil {
 		return err
 	}
-	req := invokeReq{App: e.ref.App, ID: e.ref.ID, Method: method, Args: args}
+	sr := o.app.rt.beginSpan(0, trace.SpanOneway, e.ref, method)
+	req := invokeReq{App: e.ref.App, ID: e.ref.ID, Method: method, Args: args, Span: sr.span.ID}
 	body, err := rmi.Marshal(req)
 	if err != nil {
 		return err
 	}
-	return o.app.rt.st.Post(p, e.location, PubService, "invoke", body)
+	err = o.app.rt.st.Post(p, e.location, PubService, "invoke", body)
+	// A one-sided span has no service/wire decomposition: the caller only
+	// observes the local post.
+	sr.finish(e.location, 0, err)
+	return err
 }
 
 // invokeObject performs a synchronous invocation with migration-aware
@@ -207,22 +212,35 @@ func (o *Object) OInvoke(p sched.Proc, method string, args ...any) error {
 // caller blocks-and-retries — matching the paper's blocking RMI, which
 // simply waits out a migration — re-reading the location from this very
 // table (our own migrations update it).  The total wait is bounded by
-// invokeTimeout, like any other invocation.
-func (a *App) invokeObject(p sched.Proc, id uint64, method string, args []any) (any, error) {
+// invokeTimeout, like any other invocation.  The whole operation is
+// recorded as one span of the given kind; retries and backoff show up as
+// queue time.
+func (a *App) invokeObject(p sched.Proc, id uint64, method string, args []any, kind trace.SpanKind) (any, error) {
+	first, err := a.entry(id)
+	if err != nil {
+		return nil, err
+	}
+	sr := a.rt.beginSpan(0, kind, first.ref, method)
 	var lastErr error
+	var loc string
 	deadline := p.Sched().Now() + invokeTimeout
 	backoff := 2 * time.Millisecond
 	for p.Sched().Now() < deadline {
 		e, err := a.entry(id)
 		if err != nil {
+			sr.finish(loc, 0, err)
 			return nil, err
 		}
-		res, err := a.rt.invokeAt(p, e.location, e.ref, method, args)
+		loc = e.location
+		sr.beginAttempt()
+		res, service, err := a.rt.invokeAt(p, e.location, e.ref, method, args, sr.span.ID)
 		if err == nil {
+			sr.finish(loc, service, nil)
 			return res, nil
 		}
 		lastErr = err
 		if !rmi.IsRemote(err, errObjBusy) && !rmi.IsRemote(err, errObjMoved) {
+			sr.finish(loc, 0, err)
 			return nil, err
 		}
 		p.Sleep(backoff)
@@ -230,7 +248,9 @@ func (a *App) invokeObject(p sched.Proc, id uint64, method string, args []any) (
 			backoff *= 2
 		}
 	}
-	return nil, fmt.Errorf("core: invocation of %q never caught up with migration: %w", method, lastErr)
+	err = fmt.Errorf("core: invocation of %q never caught up with migration: %w", method, lastErr)
+	sr.finish(loc, 0, err)
+	return nil, err
 }
 
 // Free releases the object (§4.4: "an object if no longer needed should
@@ -378,6 +398,7 @@ func (a *App) migrateEntry(p sched.Proc, e *objEntry, dest string) error {
 	// The quiescence wait inside migrateOut is bounded by the longest
 	// in-flight method, so the timeout mirrors invokeTimeout.
 	body := rmi.MustMarshal(migrateOutReq{App: ref.App, ID: ref.ID, Dest: dest})
+	watch := sched.StartWatch(a.world.s)
 	if _, err := a.rt.st.Call(p, src, PubService, "migrateOut", body, invokeTimeout); err != nil {
 		return err
 	}
@@ -387,6 +408,8 @@ func (a *App) migrateEntry(p sched.Proc, e *objEntry, dest string) error {
 	e.location = dest
 	a.mu.Unlock()
 	a.world.emit(trace.Event{Kind: trace.ObjMigrated, Node: dest, App: ref.App, Obj: ref.ID, Detail: src + " -> " + dest})
+	a.world.reg.Counter("js_core_migrations_total").Inc()
+	a.world.reg.Histogram("js_core_migration_us", nil).ObserveDuration(watch.Elapsed())
 	return nil
 }
 

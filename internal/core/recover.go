@@ -137,6 +137,7 @@ func (a *App) recoverEntry(p sched.Proc, e *objEntry, deadNode string) bool {
 		e.location = node
 		a.mu.Unlock()
 		a.world.emit(trace.Event{Kind: trace.ObjRecovered, Node: node, App: e.ref.App, Obj: e.ref.ID, Detail: "from " + deadNode})
+		a.world.reg.Counter("js_core_recoveries_total").Inc()
 		return true
 	}
 	return false

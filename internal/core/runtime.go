@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"jsymphony/internal/codebase"
+	"jsymphony/internal/metrics"
 	"jsymphony/internal/nas"
 	"jsymphony/internal/rmi"
 	"jsymphony/internal/sched"
@@ -52,8 +53,9 @@ type hostedObj struct {
 // invocation; the remaining parameters come from the caller's argument
 // array.
 type Ctx struct {
-	P  sched.Proc
-	RT *Runtime
+	P    sched.Proc
+	RT   *Runtime
+	Span uint64 // span id of the invocation executing this method (0 outside JRS)
 }
 
 // Node returns the node the method is executing on ("" when the object
@@ -78,9 +80,11 @@ func (c *Ctx) Compute(flops float64) {
 }
 
 // Invoke performs a synchronous invocation on another object through its
-// first-order handle (an object calling an object, §5.2).
+// first-order handle (an object calling an object, §5.2).  The outgoing
+// call's span parents to the span executing this method, so causality
+// chains survive the hop.
 func (c *Ctx) Invoke(ref Ref, method string, args []any) (any, error) {
-	return c.RT.InvokeRef(c.P, ref, method, args)
+	return c.RT.InvokeRefTraced(c.P, c.Span, trace.SpanSync, ref, method, args)
 }
 
 // newRuntime wires a node runtime; the station must not be started yet.
@@ -164,11 +168,11 @@ func (rt *Runtime) handlePub(p sched.Proc, from, method string, body []byte) ([]
 		if err := rmi.Unmarshal(body, &req); err != nil {
 			return nil, err
 		}
-		res, err := rt.invoke(p, req)
+		res, service, err := rt.invoke(p, req)
 		if err != nil {
 			return nil, err
 		}
-		return rmi.MustMarshal(invokeResp{Result: res}), nil
+		return rmi.MustMarshal(invokeResp{Result: res, Service: service}), nil
 	case "migrateOut":
 		var req migrateOutReq
 		if err := rmi.Unmarshal(body, &req); err != nil {
@@ -240,6 +244,7 @@ func (rt *Runtime) create(ref Ref) error {
 	rt.mu.Unlock()
 	rt.updateObjectGauge()
 	rt.world.emit(trace.Event{Kind: trace.ObjCreated, Node: rt.Node(), App: ref.App, Obj: ref.ID, Detail: ref.Class})
+	rt.world.reg.Counter(metrics.Label("js_core_objects_created_total", "node", rt.Node())).Inc()
 	return nil
 }
 
@@ -257,16 +262,17 @@ func (rt *Runtime) bind(inst any) {
 
 var ctxType = reflect.TypeOf((*Ctx)(nil))
 
-// invoke executes a method on a hosted object.  Invocations on an object
-// that has migrated away (or is mid-migration) fail with the typed
-// sentinel the caller uses to re-resolve the location (Fig. 4).
-func (rt *Runtime) invoke(p sched.Proc, req invokeReq) (any, error) {
+// invoke executes a method on a hosted object and reports the scheduler
+// time the method body ran (the span's service component).  Invocations
+// on an object that has migrated away (or is mid-migration) fail with
+// the typed sentinel the caller uses to re-resolve the location (Fig. 4).
+func (rt *Runtime) invoke(p sched.Proc, req invokeReq) (any, time.Duration, error) {
 	key := objKey{req.App, req.ID}
 	rt.mu.Lock()
 	h, ok := rt.hosted[key]
 	if !ok {
 		rt.mu.Unlock()
-		return nil, errors.New(errObjMoved)
+		return nil, 0, errors.New(errObjMoved)
 	}
 	if h.migrating || h.wanted {
 		// A migration (or store) is in progress or waiting for the
@@ -274,7 +280,7 @@ func (rt *Runtime) invoke(p sched.Proc, req invokeReq) (any, error) {
 		// callers cannot starve it; they retry and re-resolve the
 		// location once the object lands (Fig. 4).
 		rt.mu.Unlock()
-		return nil, errors.New(errObjBusy)
+		return nil, 0, errors.New(errObjBusy)
 	}
 	h.executing++
 	inst := h.instance
@@ -291,10 +297,17 @@ func (rt *Runtime) invoke(p sched.Proc, req invokeReq) (any, error) {
 	// the execution context.
 	if m := reflect.ValueOf(inst).MethodByName(req.Method); m.IsValid() {
 		if t := m.Type(); t.NumIn() > 0 && t.In(0) == ctxType {
-			args = append([]any{&Ctx{P: p, RT: rt}}, args...)
+			args = append([]any{&Ctx{P: p, RT: rt, Span: req.Span}}, args...)
 		}
 	}
-	return codebase.Invoke(inst, req.Method, args)
+	watch := sched.StartWatch(rt.world.s)
+	res, err := codebase.Invoke(inst, req.Method, args)
+	service := watch.Elapsed()
+	rt.world.emit(trace.Event{Kind: trace.ObjInvoked, Node: rt.Node(),
+		App: req.App, Obj: req.ID, Detail: req.Method})
+	rt.world.reg.Counter(metrics.Label("js_core_invocations_total", "node", rt.Node())).Inc()
+	rt.world.reg.Histogram(metrics.Label("js_core_invoke_service_us", "node", rt.Node()), nil).ObserveDuration(service)
+	return res, service, err
 }
 
 // migrateOut implements pa1's side of the migration protocol (Fig. 3):
@@ -437,11 +450,63 @@ func (rt *Runtime) loadStored(req loadReq) error {
 	return nil
 }
 
+// spanRec accumulates one invocation's span across retry attempts; it is
+// created when the operation starts and finished exactly once.
+type spanRec struct {
+	rt      *Runtime
+	span    trace.Span
+	attempt time.Duration // scheduler time the current attempt started
+}
+
+// beginSpan opens a span for an invocation issued from this node.  The
+// id is allocated up front so it can travel in the request and parent
+// any nested calls the method body makes.
+func (rt *Runtime) beginSpan(parent uint64, kind trace.SpanKind, ref Ref, method string) *spanRec {
+	now := rt.world.s.Now()
+	return &spanRec{
+		rt: rt,
+		span: trace.Span{
+			ID: rt.world.spans.NextID(), Parent: parent,
+			App: ref.App, Obj: ref.ID, Method: method,
+			Origin: rt.Node(), Kind: kind, Start: now,
+		},
+		attempt: now,
+	}
+}
+
+// beginAttempt marks the start of one invocation attempt; everything
+// before the final attempt counts as queue time (locates, busy/moved
+// retries, backoff).
+func (s *spanRec) beginAttempt() { s.attempt = s.rt.world.s.Now() }
+
+// finish completes the span: queue is the pre-attempt time, wire the
+// attempt round trip minus the reported service time.
+func (s *spanRec) finish(target string, service time.Duration, err error) {
+	now := s.rt.world.s.Now()
+	s.span.Target = target
+	s.span.Queue = s.attempt - s.span.Start
+	s.span.Service = service
+	if wire := now - s.attempt - service; wire > 0 {
+		s.span.Wire = wire
+	}
+	if err != nil {
+		s.span.Err = err.Error()
+	}
+	s.rt.world.spans.Record(s.span)
+}
+
 // InvokeRef performs a synchronous invocation through a first-order
 // handle from this node.  The last known location of each foreign object
 // is cached; when a call misses (the object migrated), the location is
 // re-resolved through the origin AppOA (Fig. 4) and the cache updated.
 func (rt *Runtime) InvokeRef(p sched.Proc, ref Ref, method string, args []any) (any, error) {
+	return rt.InvokeRefTraced(p, 0, trace.SpanSync, ref, method, args)
+}
+
+// InvokeRefTraced is InvokeRef with explicit span lineage: parent is the
+// caller's span id (0 for a root call) and kind records how the caller
+// issued the invocation (the async flavor runs this on a dedicated proc).
+func (rt *Runtime) InvokeRefTraced(p sched.Proc, parent uint64, kind trace.SpanKind, ref Ref, method string, args []any) (any, error) {
 	key := objKey{ref.App, ref.ID}
 	rt.mu.Lock()
 	loc, cached := rt.locCache[key]
@@ -449,19 +514,23 @@ func (rt *Runtime) InvokeRef(p sched.Proc, ref Ref, method string, args []any) (
 	if !cached {
 		loc = ref.Origin // first guess: objects often live near their app
 	}
+	sr := rt.beginSpan(parent, kind, ref, method)
 	var lastErr error
 	deadline := p.Sched().Now() + invokeTimeout
 	backoff := 2 * time.Millisecond
 	for p.Sched().Now() < deadline {
-		res, err := rt.invokeAt(p, loc, ref, method, args)
+		sr.beginAttempt()
+		res, service, err := rt.invokeAt(p, loc, ref, method, args, sr.span.ID)
 		if err == nil {
 			rt.mu.Lock()
 			rt.locCache[key] = loc
 			rt.mu.Unlock()
+			sr.finish(loc, service, nil)
 			return res, nil
 		}
 		lastErr = err
 		if !rmi.IsRemote(err, errObjMoved) && !rmi.IsRemote(err, errObjBusy) && !rmi.IsRemote(err, errObjUnknown) {
+			sr.finish(loc, 0, err)
 			return nil, err
 		}
 		if rmi.IsRemote(err, errObjBusy) {
@@ -474,40 +543,45 @@ func (rt *Runtime) InvokeRef(p sched.Proc, ref Ref, method string, args []any) (
 		}
 		newLoc, err2 := rt.locate(p, ref)
 		if err2 != nil {
-			return nil, fmt.Errorf("oas: relocating %s/%d: %w", ref.App, ref.ID, err2)
+			err2 = fmt.Errorf("oas: relocating %s/%d: %w", ref.App, ref.ID, err2)
+			sr.finish(loc, 0, err2)
+			return nil, err2
 		}
 		loc = newLoc
 	}
-	return nil, fmt.Errorf("oas: invocation kept missing migrating object: %w", lastErr)
+	err := fmt.Errorf("oas: invocation kept missing migrating object: %w", lastErr)
+	sr.finish(loc, 0, err)
+	return nil, err
 }
 
 // invokeAt issues one invocation attempt at a specific node, taking the
 // local fast path (the paper's "local (direct) method invocation") when
-// the object is hosted here.
-func (rt *Runtime) invokeAt(p sched.Proc, loc string, ref Ref, method string, args []any) (any, error) {
-	req := invokeReq{App: ref.App, ID: ref.ID, Method: method, Args: args}
+// the object is hosted here.  It reports the service time the host
+// measured for the method body alongside the result.
+func (rt *Runtime) invokeAt(p sched.Proc, loc string, ref Ref, method string, args []any, span uint64) (any, time.Duration, error) {
+	req := invokeReq{App: ref.App, ID: ref.ID, Method: method, Args: args, Span: span}
 	if loc == rt.Node() {
-		res, err := rt.invoke(p, req)
+		res, service, err := rt.invoke(p, req)
 		if err != nil {
 			// Mirror the wire behaviour so retry logic sees the same
 			// sentinels either way.
-			return nil, &rmi.RemoteError{Node: loc, Msg: err.Error()}
+			return nil, 0, &rmi.RemoteError{Node: loc, Msg: err.Error()}
 		}
-		return res, nil
+		return res, service, nil
 	}
 	body, err := rmi.Marshal(req)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	respBody, err := rt.st.Call(p, loc, PubService, "invoke", body, invokeTimeout)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	var resp invokeResp
 	if err := rmi.Unmarshal(respBody, &resp); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	return resp.Result, nil
+	return resp.Result, resp.Service, nil
 }
 
 // invokeTimeout bounds one remote method execution.  Long-running

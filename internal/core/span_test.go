@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"jsymphony/internal/sched"
+	"jsymphony/internal/trace"
+	"jsymphony/internal/virtarch"
+)
+
+// TestInvocationSpans checks the span decomposition of a remote SInvoke:
+// the service component covers the method body, the wire component the
+// simulated network round trip.
+func TestInvocationSpans(t *testing.T) {
+	simWorld(t, func(w *World, a *App, p sched.Proc) {
+		target := w.Nodes()[2]
+		node, _ := virtarch.NewNamedNode(a.Allocator(p), target)
+		obj, err := a.NewObject(p, "Counter", node, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, _ := obj.Ref()
+		if _, err := obj.SInvoke(p, "SlowAdd", 50, 1); err != nil {
+			t.Fatal(err)
+		}
+		spans := w.Spans().ForObject(ref.App, ref.ID)
+		if len(spans) != 1 {
+			t.Fatalf("spans = %v", spans)
+		}
+		s := spans[0]
+		if s.Kind != trace.SpanSync || s.Method != "SlowAdd" ||
+			s.Origin != a.Home() || s.Target != target || s.Err != "" {
+			t.Fatalf("span fields wrong: %+v", s)
+		}
+		if s.Service < 50*time.Millisecond {
+			t.Fatalf("service = %v, want >= 50ms (the sleep)", s.Service)
+		}
+		if s.Wire <= 0 {
+			t.Fatalf("wire = %v, want > 0 for a remote call", s.Wire)
+		}
+		if s.ID == 0 || s.Parent != 0 {
+			t.Fatalf("root span lineage wrong: id=%d parent=%d", s.ID, s.Parent)
+		}
+
+		// The async and one-sided flavors record their kinds.
+		h, err := obj.AInvoke(p, "Add", 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.Result(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := obj.OInvoke(p, "Add", 1); err != nil {
+			t.Fatal(err)
+		}
+		p.Sleep(100 * time.Millisecond)
+		kinds := map[trace.SpanKind]int{}
+		for _, s := range w.Spans().ForObject(ref.App, ref.ID) {
+			kinds[s.Kind]++
+		}
+		if kinds[trace.SpanSync] != 1 || kinds[trace.SpanAsync] != 1 || kinds[trace.SpanOneway] != 1 {
+			t.Fatalf("span kinds = %v", kinds)
+		}
+	})
+}
+
+// TestSpanParenting checks causality survives a hop: a method that
+// invokes another object through Ctx produces a child span whose Parent
+// is the span of the invocation executing the method.
+func TestSpanParenting(t *testing.T) {
+	simWorld(t, func(w *World, a *App, p sched.Proc) {
+		n1, _ := virtarch.NewNamedNode(a.Allocator(p), w.Nodes()[1])
+		n2, _ := virtarch.NewNamedNode(a.Allocator(p), w.Nodes()[2])
+		objA, err := a.NewObject(p, "Counter", n1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		objB, err := a.NewObject(p, "Counter", n2, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refB, _ := objB.Ref()
+		if _, err := objA.SInvoke(p, "CallOther", refB, 3); err != nil {
+			t.Fatal(err)
+		}
+		refA, _ := objA.Ref()
+		var root, child *trace.Span
+		for _, s := range w.Spans().ForApp(a.ID()) {
+			s := s
+			switch {
+			case s.Obj == refA.ID && s.Method == "CallOther":
+				root = &s
+			case s.Obj == refB.ID && s.Method == "Add":
+				child = &s
+			}
+		}
+		if root == nil || child == nil {
+			t.Fatalf("spans missing: root=%v child=%v", root, child)
+		}
+		if child.Parent != root.ID {
+			t.Fatalf("child parent = %d, want root id %d", child.Parent, root.ID)
+		}
+		if child.Origin != w.Nodes()[1] || child.Target != w.Nodes()[2] {
+			t.Fatalf("child hop = %s->%s", child.Origin, child.Target)
+		}
+		// The root span's service time covers the nested call.
+		if root.Service < child.Total() {
+			t.Fatalf("root service %v < child total %v", root.Service, child.Total())
+		}
+	})
+}

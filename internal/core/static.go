@@ -41,32 +41,35 @@ type staticResp struct {
 // staticManager runs on the directory node.
 type staticManager struct {
 	rt      *Runtime
-	mu      chanLock
+	mu      *procLock
 	seq     uint64
 	byClass map[string]staticResp
 	byID    map[uint64]string // object id -> current node
 }
 
-// chanLock is a mutex usable while its holder performs blocking RMI in
-// virtual time: a plain sync.Mutex would be held across Sleep, which is
-// fine, but a channel keeps lock-ordering explicit and non-reentrant.
-type chanLock chan struct{}
+// procLock is a mutex usable while its holder performs blocking RMI in
+// virtual time.  It is built on a sched.Queue holding a single token
+// rather than on a raw channel or sync.Mutex, so a contending proc
+// blocks *inside* the simulation: the kernel sees it as quiescent, keeps
+// advancing virtual time for the holder's RMI, and hands the run token
+// back deterministically.
+type procLock struct{ q sched.Queue }
 
-func newChanLock() chanLock {
-	l := make(chanLock, 1)
-	l <- struct{}{}
+func newProcLock(s sched.Sched) *procLock {
+	l := &procLock{q: s.NewQueue("static.lock")}
+	l.q.Put(struct{}{}, 0)
 	return l
 }
 
-func (l chanLock) lock()   { <-l }
-func (l chanLock) unlock() { l <- struct{}{} }
+func (l *procLock) lock(p sched.Proc) { p.Recv(l.q) }
+func (l *procLock) unlock()           { l.q.Put(struct{}{}, 0) }
 
 // installStaticManager registers the static services on the directory
 // node's runtime.
 func installStaticManager(rt *Runtime) *staticManager {
 	m := &staticManager{
 		rt:      rt,
-		mu:      newChanLock(),
+		mu:      newProcLock(rt.world.s),
 		byClass: make(map[string]staticResp),
 		byID:    make(map[uint64]string),
 	}
@@ -98,7 +101,7 @@ func (m *staticManager) handleLocate(p sched.Proc, from, method string, body []b
 		if err := rmi.Unmarshal(body, &req); err != nil {
 			return nil, err
 		}
-		m.mu.lock()
+		m.mu.lock(p)
 		node, ok := m.byID[req.ID]
 		m.mu.unlock()
 		return rmi.MustMarshal(locateResp{Node: node, OK: ok}), nil
@@ -112,7 +115,7 @@ func (m *staticManager) resolve(p sched.Proc, class string) (staticResp, error) 
 	if _, ok := m.rt.world.registry.Lookup(class); !ok {
 		return staticResp{}, fmt.Errorf("oas: unknown class %q", class)
 	}
-	m.mu.lock()
+	m.mu.lock(p)
 	defer m.mu.unlock()
 	if resp, ok := m.byClass[class]; ok {
 		return resp, nil

@@ -17,6 +17,8 @@
 package core
 
 import (
+	"time"
+
 	"jsymphony/internal/params"
 	"jsymphony/internal/rmi"
 )
@@ -46,16 +48,22 @@ type (
 	createReq struct {
 		Ref Ref
 	}
-	// invokeReq executes a method on a hosted object.
+	// invokeReq executes a method on a hosted object.  Span carries the
+	// caller's span id so nested invocations made by the method body
+	// (through Ctx) parent to it — causality survives the hop.
 	invokeReq struct {
 		App    string
 		ID     uint64
 		Method string
 		Args   []any
+		Span   uint64
 	}
-	// invokeResp returns the method result.
+	// invokeResp returns the method result.  Service is the scheduler
+	// time the method body ran at the host, letting the caller split its
+	// round trip into service vs. wire time.
 	invokeResp struct {
-		Result any
+		Result  any
+		Service time.Duration
 	}
 	// migrateOutReq asks the current host pa1 to move the object to
 	// Dest (= pa2); sent by the origin AppOA (Fig. 3 step 1).

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"jsymphony/internal/codebase"
+	"jsymphony/internal/metrics"
 	"jsymphony/internal/nas"
 	"jsymphony/internal/params"
 	"jsymphony/internal/rmi"
@@ -61,6 +62,8 @@ type World struct {
 
 	synth  map[string]*nas.SynthSampler // real-time worlds only
 	tracer *trace.Log
+	spans  *trace.SpanLog
+	reg    *metrics.Registry
 
 	mu          sync.Mutex
 	runtimes    map[string]*Runtime
@@ -78,11 +81,18 @@ type World struct {
 func NewSimWorld(specs []simnet.MachineSpec, profile simnet.LoadProfile, seed int64, opt Options) *World {
 	opt = opt.withDefaults()
 	clk := vclock.New()
+	// Reserve the run token for this constructing goroutine: agents and
+	// stations spawned during setup queue in spawn order and only begin
+	// running once RunMain adopts the main proc.  This makes the whole
+	// simulation — including metrics snapshots — a deterministic function
+	// of (specs, profile, seed).
+	clk.Hold()
 	s := sched.Virtual(clk)
 	fab := simnet.New(clk, specs, profile, seed)
 	w := newWorld(s, opt)
 	w.clk = clk
 	w.fab = fab
+	fab.Instrument(w.reg)
 	net := rmi.NewFab(fab, opt.Cost)
 	for _, m := range fab.Machines() {
 		w.addNode(net, m.Name(), m, nas.SimSampler{M: m})
@@ -153,6 +163,8 @@ func newWorld(s sched.Sched, opt Options) *World {
 		synth:    make(map[string]*nas.SynthSampler),
 		defaults: opt.Default,
 		tracer:   trace.NewLog(trace.DefaultDepth),
+		spans:    trace.NewSpanLog(trace.DefaultSpanDepth),
+		reg:      metrics.NewRegistry(),
 	}
 }
 
@@ -164,10 +176,16 @@ func (w *World) addNode(net rmi.Network, name string, mach *simnet.Machine, samp
 		panic(fmt.Sprintf("core: attach %s: %v", name, err))
 	}
 	st := rmi.NewStation(w.s, ep)
+	st.SetMetrics(w.reg)
+	st.SetTimeoutHook(func(to, service, method string) {
+		w.emit(trace.Event{Kind: trace.CallTimeout, Node: name,
+			Detail: fmt.Sprintf("%s.%s on %s", service, method, to)})
+	})
 	first := w.dirNode == ""
 	if first {
 		w.dirNode = name
 		w.dir = nas.NewDirectory(st, w.nasCfg)
+		w.dir.SetMetrics(w.reg)
 	}
 	agent := nas.NewAgent(st, sampler, w.nasCfg, w.dirNode)
 	rt := newRuntime(w, st, agent, mach)
@@ -201,6 +219,14 @@ func (w *World) Storage() Storage { return w.storage }
 
 // Trace returns the installation's event log.
 func (w *World) Trace() *trace.Log { return w.tracer }
+
+// Spans returns the installation's invocation span log.
+func (w *World) Spans() *trace.SpanLog { return w.spans }
+
+// Metrics returns the installation's metrics registry.  All timing
+// metrics are recorded against the world's scheduler clock, so on sim
+// worlds a snapshot is a deterministic function of the seed.
+func (w *World) Metrics() *metrics.Registry { return w.reg }
 
 // emit records an installation event with the current scheduler time.
 func (w *World) emit(e trace.Event) {

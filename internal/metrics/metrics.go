@@ -1,0 +1,217 @@
+// Package metrics is the JRS measurement substrate: a registry of
+// counters, gauges, and fixed-bucket histograms that every layer of the
+// runtime (rmi, core, nas, simnet) reports into.
+//
+// All timing measurements are taken against the *scheduler* clock
+// (sched.Sched.Now()), never the wall clock, so on a simulated
+// installation every recorded value — and therefore every exported
+// snapshot — is a deterministic function of the simulation seed.  Two
+// identically-seeded runs produce byte-identical snapshots; that is what
+// makes the Figure 5 latency distributions reproducible artifacts rather
+// than noisy measurements.
+//
+// To keep determinism independent of goroutine interleaving, histograms
+// and counters accumulate in integers only (nanosecond durations are
+// observed as microseconds, sizes as bytes): integer addition is
+// order-independent, so concurrent observers cannot perturb a snapshot.
+//
+// Naming convention: js_<subsystem>_<name>[_<unit>], with instance labels
+// inline in Prometheus form, e.g.
+//
+//	js_rmi_call_latency_us{node="rachel"}
+//	js_rmi_link_bytes{node="rachel",peer="monika"}
+//
+// Units: _us = scheduler-time microseconds, _bytes = bytes, _total = a
+// monotone count.  Label(name, k, v, ...) builds such a name.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label renders a metric name with inline labels: Label("m", "a", "1",
+// "b", "2") == `m{a="1",b="2"}`.  Pairs must come in key, value order;
+// callers must use a consistent key order for the same metric.
+func Label(name string, kv ...string) string {
+	if len(kv) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", kv[i], kv[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// splitName separates an inline-labeled name into base and label body:
+// `m{a="1"}` → ("m", `a="1"`).
+func splitName(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
+}
+
+// Counter is a monotonically increasing integer.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n (n < 0 is ignored).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a last-write-wins float value (utilizations, staleness).
+type Gauge struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Set overwrites the gauge.
+func (g *Gauge) Set(v float64) {
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// Histogram is a fixed-bucket distribution of int64 observations.
+// Bucket bounds are inclusive upper bounds; observations above the last
+// bound land in the implicit +Inf bucket.  Count and sum are integers,
+// so the final state is independent of observation order.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []int64 // sorted upper bounds
+	counts []int64 // len(bounds)+1; last is +Inf
+	count  int64
+	sum    int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	h.mu.Lock()
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i]++
+	h.count++
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// ObserveDuration records a scheduler-time duration in microseconds —
+// the unit of every *_us histogram.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Microseconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// LatencyBuckets are the default bounds for *_us histograms: 50µs up to
+// 10s of scheduler time, roughly ×2.5 per step — wide enough to span a
+// local fast-path call and a WAN round trip on the simulated fabric.
+var LatencyBuckets = []int64{
+	50, 100, 250, 500,
+	1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+	1_000_000, 2_500_000, 5_000_000, 10_000_000,
+}
+
+// SizeBuckets are the default bounds for *_bytes histograms.
+var SizeBuckets = []int64{
+	64, 256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20,
+}
+
+// Registry holds one installation's metrics, keyed by full (labeled)
+// name.  All methods are safe for concurrent use; Counter/Gauge/
+// Histogram return the existing instrument when the name is registered
+// already, so call sites may re-resolve freely.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns (registering if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (registering if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (registering if needed) the named histogram.  The
+// bounds apply only on first registration; nil bounds default to
+// LatencyBuckets.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		if bounds == nil {
+			bounds = LatencyBuckets
+		}
+		bs := append([]int64(nil), bounds...)
+		sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+		h = &Histogram{bounds: bs, counts: make([]int64, len(bs)+1)}
+		r.histograms[name] = h
+	}
+	return h
+}

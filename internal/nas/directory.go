@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"jsymphony/internal/metrics"
 	"jsymphony/internal/params"
 	"jsymphony/internal/rmi"
 	"jsymphony/internal/sched"
@@ -25,6 +26,18 @@ type Directory struct {
 
 	mu      sync.Mutex
 	entries map[string]*dirEntry
+	reg     *metrics.Registry // nil unless SetMetrics was called
+}
+
+// SetMetrics points the directory at a metrics registry.  Each agent
+// report refreshes js_nas_sampler_staleness_us{node} (gap since the
+// node's previous report — the age its parameters had just before being
+// replaced) and feeds the cluster-wide js_nas_report_gap_us histogram;
+// js_nas_reports_total counts reports.
+func (d *Directory) SetMetrics(reg *metrics.Registry) {
+	d.mu.Lock()
+	d.reg = reg
+	d.mu.Unlock()
 }
 
 type dirEntry struct {
@@ -114,6 +127,13 @@ func (d *Directory) report(node string, snap params.Snapshot, now time.Duration)
 	if e == nil {
 		e = &dirEntry{}
 		d.entries[node] = e
+	} else if d.reg != nil {
+		gap := now - e.seen
+		d.reg.Gauge(metrics.Label("js_nas_sampler_staleness_us", "node", node)).Set(float64(gap.Microseconds()))
+		d.reg.Histogram("js_nas_report_gap_us", nil).ObserveDuration(gap)
+	}
+	if d.reg != nil {
+		d.reg.Counter("js_nas_reports_total").Inc()
 	}
 	e.snap = snap
 	e.seen = now

@@ -1,0 +1,79 @@
+package rmi
+
+import (
+	"sync"
+
+	"jsymphony/internal/metrics"
+)
+
+// stationMetrics caches the station's instruments so the hot call path
+// never rebuilds labeled names.  Per-peer link instruments are resolved
+// once per peer and memoized.
+type stationMetrics struct {
+	reg *metrics.Registry
+
+	callLatency *metrics.Histogram // js_rmi_call_latency_us{node}
+	timeouts    *metrics.Counter   // js_rmi_timeouts_total{node}
+	calls       *metrics.Counter   // js_rmi_calls_total{node}
+	oneway      *metrics.Counter   // js_rmi_oneway_total{node}
+	served      *metrics.Counter   // js_rmi_served_total{node}
+	bytesOut    *metrics.Counter   // js_rmi_bytes_out_total{node}
+	bytesIn     *metrics.Counter   // js_rmi_bytes_in_total{node}
+
+	mu    sync.Mutex
+	links map[string]*linkMetrics
+	node  string
+}
+
+// linkMetrics are one directed node→peer link's instruments.
+type linkMetrics struct {
+	latency *metrics.Histogram // js_rmi_link_latency_us{node,peer}
+	bytes   *metrics.Histogram // js_rmi_link_bytes{node,peer}
+}
+
+func newStationMetrics(reg *metrics.Registry, node string) *stationMetrics {
+	return &stationMetrics{
+		reg:         reg,
+		node:        node,
+		callLatency: reg.Histogram(metrics.Label("js_rmi_call_latency_us", "node", node), nil),
+		timeouts:    reg.Counter(metrics.Label("js_rmi_timeouts_total", "node", node)),
+		calls:       reg.Counter(metrics.Label("js_rmi_calls_total", "node", node)),
+		oneway:      reg.Counter(metrics.Label("js_rmi_oneway_total", "node", node)),
+		served:      reg.Counter(metrics.Label("js_rmi_served_total", "node", node)),
+		bytesOut:    reg.Counter(metrics.Label("js_rmi_bytes_out_total", "node", node)),
+		bytesIn:     reg.Counter(metrics.Label("js_rmi_bytes_in_total", "node", node)),
+		links:       make(map[string]*linkMetrics),
+	}
+}
+
+// link returns (memoizing) the instruments for the node→peer link.
+func (m *stationMetrics) link(peer string) *linkMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	l, ok := m.links[peer]
+	if !ok {
+		l = &linkMetrics{
+			latency: m.reg.Histogram(metrics.Label("js_rmi_link_latency_us", "node", m.node, "peer", peer), nil),
+			bytes:   m.reg.Histogram(metrics.Label("js_rmi_link_bytes", "node", m.node, "peer", peer), metrics.SizeBuckets),
+		}
+		m.links[peer] = l
+	}
+	return l
+}
+
+// SetMetrics points the station at a registry.  Call before Start; a nil
+// registry (the default) disables metric recording.
+func (st *Station) SetMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	st.metrics = newStationMetrics(reg, st.Node())
+}
+
+// SetTimeoutHook installs a callback invoked whenever a synchronous call
+// times out, with the peer, service, and method that timed out.  The
+// core layer uses it to emit CallTimeout trace events without this
+// package depending on the tracer.
+func (st *Station) SetTimeoutHook(hook func(to, service, method string)) {
+	st.timeoutHook = hook
+}

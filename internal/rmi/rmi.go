@@ -130,7 +130,9 @@ type Station struct {
 	closed   bool
 	started  bool
 
-	stats Stats
+	stats       Stats
+	metrics     *stationMetrics                  // nil unless SetMetrics was called
+	timeoutHook func(to, service, method string) // nil unless SetTimeoutHook was called
 }
 
 // NewStation wraps an endpoint.  Call Register for each service, then
@@ -219,9 +221,16 @@ func (st *Station) dispatch(p sched.Proc) {
 		case KindRequest, KindOneWay:
 			st.stats.served.Add(1)
 			st.stats.bytesIn.Add(int64(msg.wireSize()))
+			if m := st.metrics; m != nil {
+				m.served.Inc()
+				m.bytesIn.Add(int64(msg.wireSize()))
+			}
 			st.serve(msg)
 		case KindResponse:
 			st.stats.bytesIn.Add(int64(msg.wireSize()))
+			if m := st.metrics; m != nil {
+				m.bytesIn.Add(int64(msg.wireSize()))
+			}
 			st.mu.Lock()
 			q, ok := st.pending[msg.ID]
 			if ok {
@@ -268,6 +277,9 @@ func (st *Station) serve(msg *Message) {
 			resp.Err = err.Error()
 		}
 		st.stats.bytesOut.Add(int64(resp.wireSize()))
+		if m := st.metrics; m != nil {
+			m.bytesOut.Add(int64(resp.wireSize()))
+		}
 		// Best effort: the caller times out if the response is lost.
 		_ = st.ep.Send(p, msg.From, resp)
 	})
@@ -306,6 +318,12 @@ func (st *Station) CallPadded(p sched.Proc, to, service, method string, body []b
 	}
 	st.stats.calls.Add(1)
 	st.stats.bytesOut.Add(int64(msg.wireSize()))
+	begin := st.s.Now()
+	if m := st.metrics; m != nil {
+		m.calls.Inc()
+		m.bytesOut.Add(int64(msg.wireSize()))
+		m.link(to).bytes.Observe(int64(msg.wireSize()))
+	}
 	if err := st.ep.Send(p, to, msg); err != nil {
 		st.mu.Lock()
 		delete(st.pending, id)
@@ -324,7 +342,18 @@ func (st *Station) CallPadded(p sched.Proc, to, service, method string, body []b
 			return nil, ErrClosed
 		}
 		st.stats.timeouts.Add(1)
+		if m := st.metrics; m != nil {
+			m.timeouts.Inc()
+		}
+		if hook := st.timeoutHook; hook != nil {
+			hook(to, service, method)
+		}
 		return nil, fmt.Errorf("%w: %s.%s on %s after %v", ErrTimeout, service, method, to, timeout)
+	}
+	if m := st.metrics; m != nil {
+		elapsed := st.s.Now() - begin
+		m.callLatency.ObserveDuration(elapsed)
+		m.link(to).latency.ObserveDuration(elapsed)
 	}
 	resp := v.(*Message)
 	if resp.Err != "" {
@@ -358,5 +387,10 @@ func (st *Station) Post(p sched.Proc, to, service, method string, body []byte) e
 	}
 	st.stats.oneway.Add(1)
 	st.stats.bytesOut.Add(int64(msg.wireSize()))
+	if m := st.metrics; m != nil {
+		m.oneway.Inc()
+		m.bytesOut.Add(int64(msg.wireSize()))
+		m.link(to).bytes.Observe(int64(msg.wireSize()))
+	}
 	return st.ep.Send(p, to, msg)
 }

@@ -10,13 +10,17 @@ package shell
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
 	"jsymphony/internal/core"
+	"jsymphony/internal/metrics"
 	"jsymphony/internal/params"
+	"jsymphony/internal/rmi"
 	"jsymphony/internal/sched"
 	"jsymphony/internal/trace"
+	"jsymphony/internal/vclock"
 )
 
 // Shell drives one world.
@@ -66,6 +70,31 @@ func (s *Shell) Exec(p sched.Proc, line string) (string, error) {
 		return s.w.Trace().String(), nil
 	case "stats":
 		return s.stats(), nil
+	case "metrics":
+		if len(args) > 1 {
+			return "", fmt.Errorf("usage: metrics [prefix]")
+		}
+		prefix := ""
+		if len(args) == 1 {
+			prefix = args[0]
+		}
+		return s.metrics(prefix), nil
+	case "hist":
+		if len(args) != 1 {
+			return "", fmt.Errorf("usage: hist <name>")
+		}
+		return s.hist(args[0])
+	case "spans":
+		if len(args) > 1 {
+			return "", fmt.Errorf("usage: spans [app[/obj]]")
+		}
+		sel := ""
+		if len(args) == 1 {
+			sel = args[0]
+		}
+		return s.spans(sel)
+	case "top":
+		return s.top(), nil
 	case "storage":
 		return s.storage()
 	case "automigrate":
@@ -87,7 +116,11 @@ const helpText = `JS-Shell commands:
   history <node> <param>        print a parameter's recent time series
   objects                       per-node JavaSymphony object counts
   events [kind]                 installation event log (optionally by kind)
-  stats                         aggregated RMI statistics
+  stats                         per-node and total RMI statistics
+  metrics [prefix]              Prometheus-style dump of the metrics registry
+  hist <name>                   ASCII rendering of one histogram
+  spans [app[/obj]]             invocation spans, optionally per app or object
+  top                           per-node utilization, load, objects, traffic
   storage                       list persistent object keys
   automigrate on <period>|off   toggle automatic object migration
   constraints show|clear        manage JS-Shell default constraints
@@ -153,16 +186,128 @@ func (s *Shell) objects() string {
 
 func (s *Shell) stats() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-12s %8s %8s %8s %10s %10s\n",
-		"NODE", "CALLS", "ONEWAY", "SERVED", "BYTES-OUT", "BYTES-IN")
+	fmt.Fprintf(&b, "%-12s %8s %8s %8s %10s %10s %8s %8s\n",
+		"NODE", "CALLS", "ONEWAY", "SERVED", "BYTES-OUT", "BYTES-IN", "TIMEOUT", "STALE")
+	row := func(name string, st rmi.StatsSnapshot) {
+		fmt.Fprintf(&b, "%-12s %8d %8d %8d %10d %10d %8d %8d\n",
+			name, st.CallsSent, st.OneWaySent, st.Served, st.BytesOut, st.BytesIn, st.Timeouts, st.Stale)
+	}
+	var total rmi.StatsSnapshot
 	for _, n := range s.w.Nodes() {
 		rt, ok := s.w.Runtime(n)
 		if !ok {
 			continue
 		}
 		st := rt.Station().Stats()
-		fmt.Fprintf(&b, "%-12s %8d %8d %8d %10d %10d\n",
-			n, st.CallsSent, st.OneWaySent, st.Served, st.BytesOut, st.BytesIn)
+		total = total.Add(st)
+		row(n, st)
+	}
+	row("TOTAL", total)
+	return b.String()
+}
+
+// metrics renders the registry in the Prometheus text format, optionally
+// restricted to series whose name starts with prefix.
+func (s *Shell) metrics(prefix string) string {
+	snap := s.w.Metrics().Snapshot()
+	if prefix != "" {
+		var f metrics.Snapshot
+		for _, c := range snap.Counters {
+			if strings.HasPrefix(c.Name, prefix) {
+				f.Counters = append(f.Counters, c)
+			}
+		}
+		for _, g := range snap.Gauges {
+			if strings.HasPrefix(g.Name, prefix) {
+				f.Gauges = append(f.Gauges, g)
+			}
+		}
+		for _, h := range snap.Histograms {
+			if strings.HasPrefix(h.Name, prefix) {
+				f.Histograms = append(f.Histograms, h)
+			}
+		}
+		snap = f
+	}
+	var b strings.Builder
+	snap.WritePrometheus(&b)
+	if b.Len() == 0 {
+		return "(no metrics)\n"
+	}
+	return b.String()
+}
+
+// hist renders one histogram as ASCII buckets.
+func (s *Shell) hist(name string) (string, error) {
+	snap := s.w.Metrics().Snapshot()
+	h, ok := snap.Histogram(name)
+	if !ok {
+		var known []string
+		for _, h := range snap.Histograms {
+			known = append(known, h.Name)
+		}
+		if len(known) == 0 {
+			return "", fmt.Errorf("no histogram %q (none recorded yet)", name)
+		}
+		return "", fmt.Errorf("no histogram %q; known: %s", name, strings.Join(known, ", "))
+	}
+	return h.Format() + "\n", nil
+}
+
+// spans lists recorded invocation spans: all of them, one application's
+// ("spans app:1"), or one object's ("spans app:1/3").
+func (s *Shell) spans(sel string) (string, error) {
+	var list []trace.Span
+	switch {
+	case sel == "":
+		list = s.w.Spans().Spans()
+	case strings.Contains(sel, "/"):
+		app, objStr, _ := strings.Cut(sel, "/")
+		obj, err := strconv.ParseUint(objStr, 10, 64)
+		if err != nil {
+			return "", fmt.Errorf("bad object id %q", objStr)
+		}
+		list = s.w.Spans().ForObject(app, obj)
+	default:
+		list = s.w.Spans().ForApp(sel)
+	}
+	if len(list) == 0 {
+		return "(no spans)\n", nil
+	}
+	var b strings.Builder
+	for _, sp := range list {
+		b.WriteString(sp.String())
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}
+
+// top is the operator's load view: per-node utilization and background
+// load straight from the fabric (simulated installations), plus object
+// population and wire traffic.
+func (s *Shell) top() string {
+	var b strings.Builder
+	now := s.w.Sched().Now()
+	fab := s.w.Fabric()
+	fmt.Fprintf(&b, "%-12s %6s %6s %8s %8s %8s\n",
+		"NODE", "UTIL%", "LOAD%", "OBJECTS", "CALLS", "SERVED")
+	for _, n := range s.w.Nodes() {
+		util, load := "-", "-"
+		if fab != nil {
+			if m, ok := fab.ByName(n); ok {
+				d := m.Snapshot(vclock.Time(now))
+				util = fmt.Sprintf("%.1f", d.Util*100)
+				load = fmt.Sprintf("%.1f", d.Load*100)
+			}
+		}
+		var objs int
+		var st rmi.StatsSnapshot
+		if rt, ok := s.w.Runtime(n); ok {
+			objs = rt.Objects()
+			st = rt.Station().Stats()
+		}
+		fmt.Fprintf(&b, "%-12s %6s %6s %8d %8d %8d\n",
+			n, util, load, objs, st.CallsSent, st.Served)
 	}
 	return b.String()
 }

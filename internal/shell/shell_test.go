@@ -1,6 +1,7 @@
 package shell
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -69,6 +70,50 @@ func TestShellCommands(t *testing.T) {
 		out, err = sh.Exec(p, "stats")
 		if err != nil || !strings.Contains(out, "NODE") {
 			t.Errorf("stats: %v\n%s", err, out)
+		}
+		if !strings.Contains(out, "TIMEOUT") || !strings.Contains(out, "STALE") ||
+			!strings.Contains(out, "TOTAL") {
+			t.Errorf("stats missing timeout/stale/aggregate row:\n%s", out)
+		}
+
+		// Observability: metrics dump, prefix filter, histograms, spans, top.
+		out, err = sh.Exec(p, "metrics")
+		if err != nil || !strings.Contains(out, "js_core_invocations_total") {
+			t.Errorf("metrics: %v\n%s", err, out)
+		}
+		out, err = sh.Exec(p, "metrics js_rmi")
+		if err != nil || !strings.Contains(out, "js_rmi_calls_total") ||
+			strings.Contains(out, "js_core") {
+			t.Errorf("metrics prefix filter: %v\n%s", err, out)
+		}
+		w.Metrics().Histogram("js_shell_test_us", nil).Observe(75)
+		out, err = sh.Exec(p, "hist js_shell_test_us")
+		if err != nil || !strings.Contains(out, "count=1") {
+			t.Errorf("hist: %v\n%s", err, out)
+		}
+		if _, err := sh.Exec(p, "hist nosuch"); err == nil {
+			t.Error("hist of unknown histogram succeeded")
+		}
+		ref, _ := obj.Ref()
+		for _, cmd := range []string{
+			"spans",
+			"spans " + ref.App,
+			fmt.Sprintf("spans %s/%d", ref.App, ref.ID),
+		} {
+			out, err = sh.Exec(p, cmd)
+			if err != nil || !strings.Contains(out, "Poke") {
+				t.Errorf("%s: %v\n%s", cmd, err, out)
+			}
+		}
+		if out, err := sh.Exec(p, "spans nobody"); err != nil || !strings.Contains(out, "no spans") {
+			t.Errorf("spans of unknown app: %v %s", err, out)
+		}
+		if _, err := sh.Exec(p, "spans a/x"); err == nil {
+			t.Error("bad object id accepted")
+		}
+		out, err = sh.Exec(p, "top")
+		if err != nil || !strings.Contains(out, "UTIL%") || !strings.Contains(out, "milena") {
+			t.Errorf("top: %v\n%s", err, out)
 		}
 
 		// Persistent storage listing.

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"jsymphony/internal/metrics"
 	"jsymphony/internal/vclock"
 )
 
@@ -16,6 +17,21 @@ type Fabric struct {
 	specs   []MachineSpec
 	byName  map[string]*Machine
 	all     []*Machine
+}
+
+// Instrument points every machine at a metrics registry: each Snapshot
+// refreshes the per-node js_simnet_util and js_simnet_background_load
+// gauges, so "top"-style views see what the monitoring agents see.
+func (f *Fabric) Instrument(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	for _, m := range f.all {
+		m.mu.Lock()
+		m.utilGauge = reg.Gauge(metrics.Label("js_simnet_util", "node", m.spec.Name))
+		m.loadGauge = reg.Gauge(metrics.Label("js_simnet_background_load", "node", m.spec.Name))
+		m.mu.Unlock()
+	}
 }
 
 // New builds a fabric of machines from specs.  The seed makes all
@@ -104,11 +120,13 @@ type Machine struct {
 	fab   *Fabric
 	inbox *vclock.Mailbox
 
-	mu      sync.Mutex
-	active  int         // computations currently sharing the CPU
-	nicFree vclock.Time // when the transmit NIC next becomes free
-	alive   bool
-	extra   float64 // injected owner load (failure/contention studies)
+	mu        sync.Mutex
+	active    int         // computations currently sharing the CPU
+	nicFree   vclock.Time // when the transmit NIC next becomes free
+	alive     bool
+	extra     float64        // injected owner load (failure/contention studies)
+	utilGauge *metrics.Gauge // set by Fabric.Instrument; nil otherwise
+	loadGauge *metrics.Gauge
 }
 
 // Spec returns the machine's hardware description.
@@ -278,11 +296,16 @@ func (m *Machine) Snapshot(t vclock.Time) SnapshotData {
 	m.mu.Lock()
 	sharers := m.active
 	alive := m.alive
+	utilGauge, loadGauge := m.utilGauge, m.loadGauge
 	m.mu.Unlock()
 	// JavaSymphony computations count toward utilization too.
 	util := load + float64(sharers)*(1-load)
 	if util > 1 {
 		util = 1
+	}
+	if utilGauge != nil {
+		utilGauge.Set(util)
+		loadGauge.Set(load)
 	}
 	return SnapshotData{
 		Alive:    alive,

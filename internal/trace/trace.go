@@ -29,6 +29,12 @@ const (
 	CodebaseLoaded  Kind = "codebase.loaded"
 	NodeFailed      Kind = "node.failed"
 	ManagerChanged  Kind = "manager.changed"
+
+	// Invocation-level kinds: the shell's event log covers calls, not
+	// just lifecycle.
+	ObjInvoked          Kind = "obj.invoked"
+	CallTimeout         Kind = "call.timeout"
+	AutoMigrateDecision Kind = "automigrate.decision"
 )
 
 // Event is one record.
@@ -90,38 +96,37 @@ func (l *Log) Emit(e Event) {
 	}
 }
 
-// Events returns the retained events oldest-first.
-func (l *Log) Events() []Event {
+// collect walks the ring oldest-first under one lock acquisition and
+// returns the events accepted by match (nil matches everything).
+// Selective queries like Filter and ForObject avoid copying the whole
+// ring into an intermediate slice just to discard most of it.
+func (l *Log) collect(match func(*Event) bool) []Event {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	out := make([]Event, 0, l.count)
+	var out []Event
 	start := l.next - l.count
 	for i := 0; i < l.count; i++ {
-		out = append(out, l.ring[((start+i)%l.cap+l.cap)%l.cap])
+		e := &l.ring[((start+i)%l.cap+l.cap)%l.cap]
+		if match == nil || match(e) {
+			out = append(out, *e)
+		}
 	}
 	return out
+}
+
+// Events returns the retained events oldest-first.
+func (l *Log) Events() []Event {
+	return l.collect(nil)
 }
 
 // Filter returns retained events of one kind, oldest-first.
 func (l *Log) Filter(kind Kind) []Event {
-	var out []Event
-	for _, e := range l.Events() {
-		if e.Kind == kind {
-			out = append(out, e)
-		}
-	}
-	return out
+	return l.collect(func(e *Event) bool { return e.Kind == kind })
 }
 
 // ForObject returns retained events for one object, oldest-first.
 func (l *Log) ForObject(app string, obj uint64) []Event {
-	var out []Event
-	for _, e := range l.Events() {
-		if e.App == app && e.Obj == obj {
-			out = append(out, e)
-		}
-	}
-	return out
+	return l.collect(func(e *Event) bool { return e.App == app && e.Obj == obj })
 }
 
 // Len reports the number of retained events.

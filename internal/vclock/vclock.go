@@ -22,6 +22,21 @@
 // If every actor is blocked and no event is pending the simulation can
 // never progress; the kernel panics with a per-actor diagnostic rather
 // than deadlocking silently.
+//
+// # Determinism
+//
+// Actors execute one at a time: a single run token passes between them,
+// in FIFO order of becoming runnable.  Without this, two actors runnable
+// at the same virtual instant would race in *real* time to schedule
+// their next events, the event sequence numbers that break same-instant
+// ties would differ from run to run, and simulations would diverge by
+// microseconds between identically-seeded executions.  With it, a
+// simulation is a deterministic function of its inputs — byte-identical
+// metrics snapshots across runs — provided the setup phase is covered
+// too: a constructor that spawns actors from a non-actor goroutine
+// should call Hold first, so no actor runs (and no event order is
+// decided) until the driving goroutine calls Adopt and enters the
+// simulation itself.
 package vclock
 
 import (
@@ -76,6 +91,9 @@ type Clock struct {
 	now      Time
 	seq      uint64
 	runnable int
+	held     bool     // run token reserved by a setup goroutine (Hold)
+	cur      *Actor   // actor currently holding the run token
+	runq     []*Actor // runnable actors awaiting the run token, FIFO
 	actors   map[*Actor]struct{}
 	timers   eventHeap
 	wg       sync.WaitGroup
@@ -122,31 +140,84 @@ func (a *Actor) Clock() *Clock { return a.c }
 // Now returns the current virtual time.
 func (a *Actor) Now() Time { return a.c.Now() }
 
+// Hold reserves the run token for the calling (non-actor) goroutine:
+// actors spawned while the hold is in place are queued and do not start
+// running until the holder calls Adopt and becomes an actor itself.
+// Construction code uses this so that the order in which actors first
+// run — and with it every event tie-break in the simulation — is a
+// deterministic function of the spawn order, not of the Go scheduler.
+// Hold must be called before any actor is spawned.
+func (c *Clock) Hold() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.held = true
+}
+
 // Adopt enrolls the calling goroutine as an actor.  The caller must call
-// Done when it leaves the simulation.
+// Done when it leaves the simulation.  If the clock is held, the hold is
+// converted into this actor's run token; otherwise the caller may block
+// until the token reaches it.
 func (c *Clock) Adopt(name string) *Actor {
 	a := &Actor{c: c, name: name, wake: make(chan struct{}, 1), state: "running"}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.dead {
+		c.mu.Unlock()
 		panic("vclock: clock is poisoned after a deadlock")
 	}
 	c.actors[a] = struct{}{}
 	c.runnable++
 	c.wg.Add(1)
+	if c.held {
+		c.held = false
+		c.cur = a
+		c.mu.Unlock()
+		return a
+	}
+	if c.cur == nil && len(c.runq) == 0 {
+		c.cur = a
+		c.mu.Unlock()
+		return a
+	}
+	a.state = "starting"
+	c.runq = append(c.runq, a)
+	c.mu.Unlock()
+	a.await()
 	return a
 }
 
 // Spawn starts fn on a new goroutine enrolled as an actor.  The actor is
 // registered before Spawn returns, so virtual time cannot advance past
-// the spawn point before fn begins.  The actor is automatically retired
-// when fn returns.
+// the spawn point before fn begins; fn itself runs only once the actor
+// is granted the run token.  The actor is automatically retired when fn
+// returns.
 func (c *Clock) Spawn(name string, fn func(*Actor)) {
-	a := c.Adopt(name)
+	a := &Actor{c: c, name: name, wake: make(chan struct{}, 1), state: "starting"}
+	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		panic("vclock: clock is poisoned after a deadlock")
+	}
+	c.actors[a] = struct{}{}
+	c.runnable++
+	c.wg.Add(1)
+	c.runq = append(c.runq, a)
+	c.dispatchLocked()
+	c.mu.Unlock()
 	go func() {
 		defer a.Done()
+		a.await()
 		fn(a)
 	}()
+}
+
+// await blocks until the actor is granted the run token.
+func (a *Actor) await() {
+	<-a.wake
+	c := a.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.checkDeadLocked()
+	a.state = "running"
 }
 
 // Done retires the actor.  Further use of the actor is a bug.
@@ -160,6 +231,10 @@ func (a *Actor) Done() {
 	a.done = true
 	delete(c.actors, a)
 	c.runnable--
+	if c.cur == a {
+		c.cur = nil
+	}
+	c.dispatchLocked()
 	c.maybeAdvance()
 	c.mu.Unlock()
 	c.wg.Done()
@@ -213,24 +288,52 @@ func (c *Clock) schedule(when Time, fire func()) *event {
 	return ev
 }
 
-// wakeActor marks a as runnable and signals it.  A wake of an actor that
-// is not blocked (e.g. a mailbox delivery and a timeout firing at the
-// same virtual instant) is a no-op.  Caller holds the lock.
+// wakeActor marks a as runnable, queueing it for the run token.  A wake
+// of an actor that is not blocked (e.g. a mailbox delivery and a timeout
+// firing at the same virtual instant) is a no-op.  Caller holds the
+// lock.
 func (c *Clock) wakeActor(a *Actor) {
 	if !a.waiting {
 		return
 	}
 	a.waiting = false
 	c.runnable++
+	c.runq = append(c.runq, a)
+	c.dispatchLocked()
+}
+
+// dispatchLocked hands the run token to the next queued actor, if the
+// token is free.  On a poisoned clock it instead releases every queued
+// actor so each can observe the deadlock diagnostic.  Caller holds the
+// lock.
+func (c *Clock) dispatchLocked() {
+	if c.dead {
+		for _, a := range c.runq {
+			a.wake <- struct{}{}
+		}
+		c.runq = nil
+		return
+	}
+	if c.held || c.cur != nil || len(c.runq) == 0 {
+		return
+	}
+	a := c.runq[0]
+	c.runq = c.runq[1:]
+	c.cur = a
 	a.wake <- struct{}{}
 }
 
-// blockActor records that a stopped running and advances the clock if it
-// was the last runnable actor.  Caller holds the lock; the caller must
-// release it and receive on a.wake afterwards.
+// blockActor records that a stopped running, passes the run token on,
+// and advances the clock if it was the last runnable actor.  Caller
+// holds the lock; the caller must release it and receive on a.wake
+// afterwards.
 func (c *Clock) blockActor(a *Actor) {
 	a.waiting = true
 	c.runnable--
+	if c.cur == a {
+		c.cur = nil
+	}
+	c.dispatchLocked()
 	c.maybeAdvance()
 }
 

@@ -3,6 +3,7 @@ package vclock
 import (
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 	"time"
@@ -268,6 +269,65 @@ func TestDeterminism(t *testing.T) {
 	for i := range s1 {
 		if s1[i] != s2[i] {
 			t.Fatalf("stamp %d differs: %v vs %v", i, s1[i], s2[i])
+		}
+	}
+}
+
+// TestSerializedExecution checks the run-token discipline: at most one
+// actor executes user code at any real-time moment, even when many are
+// runnable at the same virtual instant.
+func TestSerializedExecution(t *testing.T) {
+	c := New()
+	var running atomic.Int32
+	for i := 0; i < 8; i++ {
+		c.Spawn("worker", func(a *Actor) {
+			for step := 0; step < 50; step++ {
+				if n := running.Add(1); n != 1 {
+					t.Errorf("%d actors running at once", n)
+				}
+				running.Add(-1)
+				// Everyone sleeps to the same instants: maximal contention
+				// for the token on every wake.
+				a.Sleep(time.Millisecond)
+			}
+		})
+	}
+	c.Run()
+}
+
+// TestHoldDeterministicOrder checks that with Hold covering the spawn
+// phase, the complete execution order of same-instant actors is a pure
+// function of spawn order — run twice, compare the full interleaving.
+func TestHoldDeterministicOrder(t *testing.T) {
+	run := func() []int {
+		c := New()
+		c.Hold()
+		var mu sync.Mutex
+		var order []int
+		for i := 0; i < 6; i++ {
+			i := i
+			c.Spawn("w", func(a *Actor) {
+				for step := 0; step < 20; step++ {
+					a.Sleep(time.Millisecond) // all collide at every tick
+					mu.Lock()
+					order = append(order, i)
+					mu.Unlock()
+				}
+			})
+		}
+		a := c.Adopt("main")
+		a.Sleep(50 * time.Millisecond)
+		a.Done()
+		c.Run()
+		return order
+	}
+	o1, o2 := run(), run()
+	if len(o1) != len(o2) {
+		t.Fatalf("lengths differ: %d vs %d", len(o1), len(o2))
+	}
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatalf("interleaving differs at %d: %v vs %v", i, o1[:i+1], o2[:i+1])
 		}
 	}
 }

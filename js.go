@@ -6,6 +6,7 @@ import (
 	"jsymphony/internal/core"
 	"jsymphony/internal/nas"
 	"jsymphony/internal/sched"
+	"jsymphony/internal/trace"
 	"jsymphony/internal/virtarch"
 )
 
@@ -296,7 +297,7 @@ func (r *RemoteRef) AInvoke(method string, args ...any) (*ResultHandle, error) {
 	app := r.js.app
 	ref := r.ref
 	app.World().Sched().Spawn("ainvoke-ref", func(p sched.Proc) {
-		res, err := app.Runtime().InvokeRef(p, ref, method, args)
+		res, err := app.Runtime().InvokeRefTraced(p, 0, trace.SpanAsync, ref, method, args)
 		h.h.Deliver(res, err)
 	})
 	return h, nil
