@@ -20,6 +20,7 @@
 package jsymphony
 
 import (
+	"jsymphony/internal/chaos"
 	"jsymphony/internal/codebase"
 	"jsymphony/internal/core"
 	"jsymphony/internal/nas"
@@ -114,7 +115,29 @@ type (
 	NASEvent = nas.Event
 	// RMICost parameterizes simulated RMI CPU overheads.
 	RMICost = rmi.CostModel
+	// RMIPolicy configures sync-call retry/timeout/backoff; the zero
+	// value is the historical single-attempt behavior.
+	RMIPolicy = rmi.Policy
 )
+
+// Fault injection (chaos) re-exports: deterministic, seeded faults on
+// the simulated installation.
+type (
+	// ChaosSpec is a fault-injection plan: scheduled faults plus
+	// stochastic crash/flap generators.
+	ChaosSpec = chaos.Spec
+	// ChaosFault is one injectable fault.
+	ChaosFault = chaos.Fault
+	// ChaosInjector drives a spec against a running installation.
+	ChaosInjector = chaos.Injector
+)
+
+// ParseChaos parses a chaos plan DSL, e.g.
+// "crash:node03@1.5s+2s; loss:*:0.05; crashes:20s+5s".
+func ParseChaos(s string) (*ChaosSpec, error) { return chaos.Parse(s) }
+
+// ParseChaosFault parses one fault entry, e.g. "partition:a/b@1s+500ms".
+func ParseChaosFault(s string) (ChaosFault, error) { return chaos.ParseFault(s) }
 
 // The paper's experimental conditions and cluster.
 var (

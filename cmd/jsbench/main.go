@@ -23,23 +23,39 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "fig5", "experiment to run (fig5, mandel, automigrate)")
+	experiment := flag.String("experiment", "fig5", "experiment to run (fig5, mandel, automigrate, recovery)")
 	sizes := flag.String("sizes", "200,400,600,800", "comma-separated problem sizes")
 	maxNodes := flag.Int("maxnodes", 13, "sweep node counts 1..maxnodes")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	metricsOut := flag.String("metricsout", "", "write per-run metrics snapshots to this JSON file (fig5 only)")
+	chaosPlan := flag.String("chaos", "", `fault-injection plan for fig5, e.g. "loss:*:0.02" or "crashes:20s+5s"`)
 	flag.Parse()
 
 	switch *experiment {
 	case "fig5":
-		runFig5(*sizes, *maxNodes, *seed, *metricsOut)
+		runFig5(*sizes, *maxNodes, *seed, *metricsOut, *chaosPlan)
 	case "mandel":
 		runMandel(*maxNodes, *seed)
 	case "automigrate":
 		runE3(*seed)
+	case "recovery":
+		runRecovery(*seed)
 	default:
 		fmt.Fprintf(os.Stderr, "jsbench: unknown experiment %q\n", *experiment)
 		os.Exit(2)
+	}
+}
+
+func runRecovery(seed int64) {
+	fmt.Println("Recovery — checkpoint-based crash recovery overhead")
+	fmt.Println("(the OAS extension the paper defers to future work, §5.1/§7)")
+	fmt.Println()
+	cfg := experiments.RecoveryConfig{Seed: seed}
+	r := experiments.Recovery(cfg)
+	experiments.WriteRecovery(os.Stdout, cfg, r)
+	if !r.Correct {
+		fmt.Fprintln(os.Stderr, "jsbench: recovered run produced a WRONG product")
+		os.Exit(1)
 	}
 }
 
@@ -61,7 +77,7 @@ func runMandel(maxNodes int, seed int64) {
 	experiments.WriteMandel(os.Stdout, pts)
 }
 
-func runFig5(sizeList string, maxNodes int, seed int64, metricsOut string) {
+func runFig5(sizeList string, maxNodes int, seed int64, metricsOut, chaosPlan string) {
 	var sizes []int
 	for _, s := range strings.Split(sizeList, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(s))
@@ -72,9 +88,13 @@ func runFig5(sizeList string, maxNodes int, seed int64, metricsOut string) {
 		sizes = append(sizes, n)
 	}
 	fmt.Printf("Figure 5 — JavaSymphony matrix multiplication on the simulated\n")
-	fmt.Printf("13-workstation heterogeneous cluster (virtual execution times)\n\n")
+	fmt.Printf("13-workstation heterogeneous cluster (virtual execution times)\n")
+	if chaosPlan != "" {
+		fmt.Printf("under fault injection: %s\n", chaosPlan)
+	}
+	fmt.Println()
 	pts := experiments.Figure5(experiments.Figure5Config{
-		Sizes: sizes, MaxNodes: maxNodes, Seed: seed,
+		Sizes: sizes, MaxNodes: maxNodes, Seed: seed, Chaos: chaosPlan,
 	})
 	experiments.WriteFigure5(os.Stdout, pts)
 	fmt.Println()

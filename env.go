@@ -3,6 +3,7 @@ package jsymphony
 import (
 	"time"
 
+	"jsymphony/internal/chaos"
 	"jsymphony/internal/core"
 	"jsymphony/internal/sched"
 	"jsymphony/internal/simnet"
@@ -84,6 +85,27 @@ func (e *Env) SetDefaultConstraints(c *Constraints) { e.w.SetDefaultConstraints(
 // Start launches the environment (stations and agents).  RunMain does
 // this automatically; real-time environments call it before Attach.
 func (e *Env) Start() { e.w.Start() }
+
+// InstallChaos arms the deterministic fault-injection subsystem on a
+// simulated environment: the spec's scheduled and stochastic faults are
+// driven by the virtual clock and a splitmix64 chain over seed, so a
+// chaos run is byte-reproducible from (spec, seed).  Call before
+// RunMain.  The injector starts with the installation and is quiesced
+// by shutdown.
+func (e *Env) InstallChaos(spec *ChaosSpec, seed int64) (*ChaosInjector, error) {
+	return e.w.InstallChaos(spec, seed)
+}
+
+// Chaos returns the installed injector, or nil.
+func (e *Env) Chaos() *chaos.Injector { return e.w.Chaos() }
+
+// SetRMIPolicy installs a retry/timeout/backoff policy on every node's
+// RMI station.  The zero policy restores the historical single-attempt
+// behavior.  With retries enabled, synchronous calls become
+// exactly-once under message loss, duplication, and reordering:
+// retried requests carry the same correlation ID and receivers dedup
+// by (sender, ID).
+func (e *Env) SetRMIPolicy(pol RMIPolicy) { e.w.SetRMIPolicy(pol) }
 
 // RunMain drives a simulated environment: it starts the installation,
 // waits one monitoring round so agents report in, registers an

@@ -48,6 +48,12 @@ type Figure5Config struct {
 	Sizes    []int // problem sizes (default 200, 400, 600, 800)
 	MaxNodes int   // node counts 1..MaxNodes (default 13, the paper's cluster)
 	Seed     int64 // simulation seed (default 1)
+
+	// Chaos, when non-empty, is a fault-injection plan (chaos DSL, see
+	// jsymphony.ParseChaos) installed on every run of the sweep — e.g.
+	// "loss:*:0.02" to measure the sweep under 2% message loss.  A
+	// retry policy is installed alongside so sync calls survive it.
+	Chaos string
 }
 
 func (c Figure5Config) withDefaults() Figure5Config {
@@ -66,7 +72,23 @@ func (c Figure5Config) withDefaults() Figure5Config {
 // Figure5Point runs one cell on a fresh paper cluster — one experiment
 // run in the paper's methodology.
 func RunFigure5Point(profile jsymphony.LoadProfile, n, nodes int, seed int64) Figure5Point {
+	return runFigure5Point(profile, n, nodes, seed, nil)
+}
+
+func runFigure5Point(profile jsymphony.LoadProfile, n, nodes int, seed int64, spec *jsymphony.ChaosSpec) Figure5Point {
 	env := jsymphony.NewSimEnv(jsymphony.PaperCluster(), profile, seed, jsymphony.EnvOptions{})
+	if spec != nil {
+		env.SetRMIPolicy(jsymphony.RMIPolicy{
+			AttemptTimeout: 500 * time.Millisecond,
+			Retries:        4,
+			Backoff:        50 * time.Millisecond,
+			BackoffMax:     500 * time.Millisecond,
+			Multiplier:     2,
+		})
+		if _, err := env.InstallChaos(spec, seed); err != nil {
+			panic(fmt.Sprintf("experiments: fig5 chaos: %v", err))
+		}
+	}
 	var elapsed time.Duration
 	env.RunMain("", func(js *jsymphony.JS) {
 		cfg := matmul.Config{N: n, Nodes: nodes, Model: true, Seed: seed}
@@ -94,11 +116,19 @@ func RunFigure5Point(profile jsymphony.LoadProfile, n, nodes int, seed int64) Fi
 // Figure5 runs the full sweep: every size × node count × {day, night}.
 func Figure5(cfg Figure5Config) []Figure5Point {
 	cfg = cfg.withDefaults()
+	var spec *jsymphony.ChaosSpec
+	if cfg.Chaos != "" {
+		var err error
+		spec, err = jsymphony.ParseChaos(cfg.Chaos)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: fig5: bad chaos plan %q: %v", cfg.Chaos, err))
+		}
+	}
 	var out []Figure5Point
 	for _, profile := range []jsymphony.LoadProfile{jsymphony.Night, jsymphony.Day} {
 		for _, n := range cfg.Sizes {
 			for nodes := 1; nodes <= cfg.MaxNodes; nodes++ {
-				out = append(out, RunFigure5Point(profile, n, nodes, cfg.Seed))
+				out = append(out, runFigure5Point(profile, n, nodes, cfg.Seed, spec))
 			}
 		}
 	}

@@ -1,0 +1,98 @@
+package chaos_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"jsymphony"
+	"jsymphony/workloads/matmul"
+)
+
+// chaosRunArtifacts runs one seeded chaos matmul (crash + loss, with
+// recovery and retries all active) in a fresh environment and renders
+// everything observable: the metrics snapshot as JSON, the full trace
+// log, and every invocation span.
+func chaosRunArtifacts(t *testing.T, seed int64) (metricsJSON, traceLog, spanLog string) {
+	t.Helper()
+	spec, err := jsymphony.ParseChaos("crash:node01@700ms; loss:*:0.03@600ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := chaosEnv(t, spec, seed)
+	cfg := matmul.Config{N: 256, Nodes: 4, Seed: seed}
+	env.RunMain("", func(js *jsymphony.JS) {
+		js.EnableRecovery(150 * time.Millisecond)
+		if _, err := matmul.Run(js, cfg); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	})
+
+	var mb strings.Builder
+	if err := env.World().Metrics().Snapshot().WriteJSON(&mb); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, s := range env.World().Spans().Spans() {
+		sb.WriteString(s.String())
+		sb.WriteByte('\n')
+	}
+	return mb.String(), env.World().Trace().String(), sb.String()
+}
+
+// TestChaosDeterminism is the reproducibility contract of the whole
+// subsystem: two runs from the same (spec, seed) — crashes, message
+// loss, detection, recovery, retries and all — must leave byte-
+// identical metrics, trace logs, and span logs.  Any hidden wall-clock
+// or map-order dependence on a fault path breaks this test.
+func TestChaosDeterminism(t *testing.T) {
+	for _, seed := range harnessSeeds(t) {
+		m1, t1, s1 := chaosRunArtifacts(t, seed)
+		m2, t2, s2 := chaosRunArtifacts(t, seed)
+		for _, pair := range []struct {
+			what string
+			a, b string
+		}{
+			{"metrics snapshot", m1, m2},
+			{"trace log", t1, t2},
+			{"span log", s1, s2},
+		} {
+			if pair.a != pair.b {
+				t.Errorf("seed %d: %s differs between identically-seeded runs:\n%s",
+					seed, pair.what, firstDiff(pair.a, pair.b))
+			}
+		}
+		if strings.TrimSpace(m1) == "" || strings.TrimSpace(t1) == "" || strings.TrimSpace(s1) == "" {
+			t.Fatalf("seed %d: empty artifacts — the run produced nothing to compare", seed)
+		}
+	}
+}
+
+// firstDiff renders the first line where two renderings diverge.
+func firstDiff(a, b string) string {
+	la, lb := strings.Split(a, "\n"), strings.Split(b, "\n")
+	n := len(la)
+	if len(lb) < n {
+		n = len(lb)
+	}
+	for i := 0; i < n; i++ {
+		if la[i] != lb[i] {
+			return "line " + itoa(i+1) + ":\n  run1: " + la[i] + "\n  run2: " + lb[i]
+		}
+	}
+	return "lengths differ: " + itoa(len(la)) + " vs " + itoa(len(lb)) + " lines"
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,127 @@
+package chaos_test
+
+import (
+	"testing"
+	"time"
+
+	"jsymphony"
+	"jsymphony/internal/trace"
+)
+
+func init() {
+	jsymphony.RegisterClass("chaos.Counter", 1024, func() any { return &ChaosCounter{} })
+}
+
+// ChaosCounter is deliberately NOT idempotent at the application level:
+// a duplicated Add corrupts the total, a lost one loses it.  The final
+// count therefore witnesses exactly-once delivery of every sync
+// invocation — the property the rmi retry/dedup layer must provide.
+type ChaosCounter struct {
+	Total int
+}
+
+// Add increments the counter and returns the new total.
+func (c *ChaosCounter) Add(x int) int {
+	c.Total += x
+	return c.Total
+}
+
+// Get returns the total.
+func (c *ChaosCounter) Get() int { return c.Total }
+
+// TestChaosExactlyOnceCounter drives K synchronous Adds at a stateful
+// counter while a background proc migrates it back and forth between
+// two nodes, under faults that stress the wire: loss, duplication +
+// reordering, a short link flap, and a bystander crash.  None of the
+// scenarios may lose or double-count a single Add.
+//
+// Recovery is intentionally NOT enabled here: a false death would
+// double-host the counter and legitimately fork its state.  The
+// scenarios stay below the detection threshold (flaps shorter than
+// FailTimeout; crashes only hit a node the counter never visits), so
+// exactly-once is the required outcome, not a lucky one.
+func TestChaosExactlyOnceCounter(t *testing.T) {
+	scenarios := []struct {
+		name string
+		plan string
+	}{
+		{name: "loss", plan: "loss:*:0.1@300ms"},
+		{name: "dup_reorder", plan: "dup:*:0.15@300ms; reorder:*:2ms@300ms"},
+		{name: "flap", plan: "partition:node00/node01@500ms+300ms"},
+		{name: "bystander_crash", plan: "crash:node03@700ms"},
+	}
+	const adds = 30
+
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			for _, seed := range harnessSeeds(t) {
+				spec, err := jsymphony.ParseChaos(sc.plan)
+				if err != nil {
+					t.Fatalf("seed %d: parse %q: %v", seed, sc.plan, err)
+				}
+				env := chaosEnv(t, spec, seed)
+				env.RunMain("", func(js *jsymphony.JS) {
+					cb := js.NewCodebase()
+					if err := cb.Add("chaos.Counter"); err != nil {
+						t.Fatal(err)
+					}
+					if err := cb.LoadNodes(js.Env().Nodes()...); err != nil {
+						t.Fatal(err)
+					}
+					home, err := js.NewNamedNode("node01")
+					if err != nil {
+						t.Fatal(err)
+					}
+					obj, err := js.NewObject("chaos.Counter", home, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+
+					// The counter commutes between node01 and node02 while
+					// the Adds are in flight: invocations must chase it
+					// (busy/moved retries) without ever re-executing.
+					js.Spawn("chaos.migrator", func(mjs *jsymphony.JS) {
+						mobj := obj.With(mjs)
+						for i := 0; i < 4; i++ {
+							mjs.Sleep(150 * time.Millisecond)
+							target := "node02"
+							if i%2 == 1 {
+								target = "node01"
+							}
+							n, err := mjs.NewNamedNode(target)
+							if err != nil {
+								return
+							}
+							// A migration may fail under heavy faults; the
+							// object stays where it was and the Adds go on.
+							_ = mobj.Migrate(n, nil)
+						}
+					})
+
+					for i := 0; i < adds; i++ {
+						got, err := obj.SInvoke("Add", 1)
+						if err != nil {
+							t.Fatalf("seed %d: Add %d under %s: %v", seed, i, sc.plan, err)
+						}
+						// Monotonic growth by exactly 1 per call: a dup or a
+						// silent re-execution would overshoot immediately.
+						if got.(int) != i+1 {
+							t.Fatalf("seed %d: Add %d returned %d, want %d — not exactly-once under %s",
+								seed, i, got.(int), i+1, sc.plan)
+						}
+						js.Sleep(20 * time.Millisecond)
+					}
+					if got, err := obj.SInvoke("Get"); err != nil || got.(int) != adds {
+						t.Fatalf("seed %d: final count = %v, %v (want %d) under %s",
+							seed, got, err, adds, sc.plan)
+					}
+
+					if len(env.World().Trace().Filter(trace.ObjMigrated)) == 0 {
+						t.Errorf("seed %d: counter never migrated — scenario under-exercised", seed)
+					}
+				})
+			}
+		})
+	}
+}

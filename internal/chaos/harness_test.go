@@ -1,0 +1,191 @@
+// The seeded chaos harness: real workloads run to completion — and to
+// *correct* results — while the injector crashes nodes, partitions and
+// flaps links, and drops, duplicates, and reorders messages.  Every run
+// is a deterministic function of (spec, seed); set CHAOS_SEED to pin a
+// single seed (the CI matrix does).
+//
+// This is an external test package (chaos_test): it drives the injector
+// through the public jsymphony API so it exercises the full stack —
+// chaos → simnet → rmi retry/dedup → NAS detection → OAS recovery.
+package chaos_test
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"jsymphony"
+	"jsymphony/internal/trace"
+	"jsymphony/workloads/matmul"
+)
+
+// harnessSeeds is the seed axis of the scenario matrix.  CHAOS_SEED
+// narrows it to one value so a CI matrix can spread seeds across jobs.
+func harnessSeeds(t *testing.T) []int64 {
+	if s := os.Getenv("CHAOS_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("bad CHAOS_SEED %q: %v", s, err)
+		}
+		return []int64{v}
+	}
+	return []int64{1, 42}
+}
+
+// fastNAS shortens monitoring so failure detection fits a short run:
+// a dead node is declared failed within FailTimeout + one MonitorPeriod.
+func fastNAS() jsymphony.NASConfig {
+	return jsymphony.NASConfig{
+		MonitorPeriod: 150 * time.Millisecond,
+		FailTimeout:   600 * time.Millisecond,
+		CallTimeout:   400 * time.Millisecond,
+	}
+}
+
+// harnessPolicy makes sync calls ride out fault windows: short attempts
+// with retries, so a call into a crashed or partitioned node fails fast
+// enough for the invoke layer to chase the recovered object.
+func harnessPolicy() jsymphony.RMIPolicy {
+	return jsymphony.RMIPolicy{
+		AttemptTimeout: 300 * time.Millisecond,
+		Retries:        4,
+		Backoff:        50 * time.Millisecond,
+		BackoffMax:     300 * time.Millisecond,
+		Multiplier:     2,
+	}
+}
+
+// chaosEnv builds a 4-node uniform simulated cluster with fast
+// detection, the retry policy, and the spec armed — the shared fixture
+// of every harness scenario.
+func chaosEnv(t *testing.T, spec *jsymphony.ChaosSpec, seed int64) *jsymphony.Env {
+	t.Helper()
+	machines := jsymphony.UniformCluster(jsymphony.Ultra10_300, 4)
+	env := jsymphony.NewSimEnv(machines, jsymphony.IdleProfile, seed, jsymphony.EnvOptions{NAS: fastNAS()})
+	env.SetRMIPolicy(harnessPolicy())
+	if _, err := env.InstallChaos(spec, seed); err != nil {
+		t.Fatalf("install chaos: %v", err)
+	}
+	return env
+}
+
+// TestChaosMatmulScenarios runs the paper's master/slave matrix
+// multiplication (exact arithmetic, N=384, spanning roughly
+// 0.25s–2s of virtual time) under one fault scenario per row, for every
+// seed, and verifies the product element-for-element against the
+// sequential reference.  Completion alone is not enough: a lost or
+// double-merged task block would corrupt C even if the run "succeeds".
+//
+// Fault times are absolute virtual times chosen against the run's
+// measured shape: the master registers after the ~225ms settle window
+// and B's replication (one-way copy plus the sync Ready barrier) is
+// complete well before t=900ms, so every fault lands mid-computation.
+func TestChaosMatmulScenarios(t *testing.T) {
+	scenarios := []struct {
+		name string
+		plan string
+		// wantRecovery: the scenario must re-materialize at least one
+		// object from a checkpoint (and must trace the detection).
+		wantRecovery bool
+		// wantQuiet: the scenario must NOT trip failure detection — the
+		// fault window is shorter than FailTimeout and retries absorb it.
+		wantQuiet bool
+	}{
+		// A slave host dies outright; its object recovers elsewhere and
+		// the master's outstanding task calls chase it.
+		{name: "crash", plan: "crash:node01@1.2s", wantRecovery: true},
+		// 5% of all messages vanish; retries with receiver-side dedup
+		// turn at-least-once resends into exactly-once execution.
+		{name: "loss", plan: "loss:*:0.05@900ms"},
+		// The master loses a slave for longer than FailTimeout: a false
+		// death.  Recovery double-hosts the slave, which is harmless
+		// here — Multiply is pure, merging a block twice is idempotent.
+		{name: "partition", plan: "partition:node00/node02@900ms+1.5s", wantRecovery: true},
+		// A short flap (under FailTimeout): retries ride through and the
+		// detector must NOT declare anyone dead.
+		{name: "flap", plan: "partition:node00/node03@900ms+300ms", wantQuiet: true},
+	}
+
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			for _, seed := range harnessSeeds(t) {
+				spec, err := jsymphony.ParseChaos(sc.plan)
+				if err != nil {
+					t.Fatalf("seed %d: parse %q: %v", seed, sc.plan, err)
+				}
+				cfg := matmul.Config{N: 384, Nodes: 4, Seed: seed}
+				A, B := matmul.Operands(cfg)
+				want := matmul.Multiply(A, B, cfg.N)
+
+				env := chaosEnv(t, spec, seed)
+				var st matmul.Stats
+				env.RunMain("", func(js *jsymphony.JS) {
+					js.EnableRecovery(150 * time.Millisecond)
+					st, err = matmul.Run(js, cfg)
+				})
+				if err != nil {
+					t.Fatalf("seed %d: run under %s: %v", seed, sc.plan, err)
+				}
+				if len(st.C) != cfg.N*cfg.N {
+					t.Fatalf("seed %d: product has %d elements, want %d", seed, len(st.C), cfg.N*cfg.N)
+				}
+				for i := range want {
+					if st.C[i] != want[i] {
+						t.Fatalf("seed %d: C[%d] = %v, want %v — corrupted under %s",
+							seed, i, st.C[i], want[i], sc.plan)
+					}
+				}
+
+				tr := env.World().Trace()
+				if len(tr.Filter(trace.ChaosFault)) == 0 {
+					t.Errorf("seed %d: no ChaosFault traced for %s", seed, sc.plan)
+				}
+				failed := len(tr.Filter(trace.NodeFailed))
+				recovered := len(tr.Filter(trace.ObjRecovered))
+				if sc.wantRecovery && (failed == 0 || recovered == 0) {
+					t.Errorf("seed %d: %s: failed=%d recovered=%d, want both > 0",
+						seed, sc.name, failed, recovered)
+				}
+				if sc.wantQuiet && failed != 0 {
+					t.Errorf("seed %d: %s: %d false detections for a sub-FailTimeout flap",
+						seed, sc.name, failed)
+				}
+			}
+		})
+	}
+}
+
+// retriesTotal sums js_rmi_retries_total across all nodes.
+func retriesTotal(env *jsymphony.Env) int64 {
+	var total int64
+	for _, c := range env.World().Metrics().Snapshot().Counters {
+		if strings.HasPrefix(c.Name, "js_rmi_retries_total") {
+			total += c.Value
+		}
+	}
+	return total
+}
+
+// TestChaosLossExercisesRetries pins that the loss scenario actually
+// stresses the retry machinery (a silent zero would mean the fault
+// never touched the run).
+func TestChaosLossExercisesRetries(t *testing.T) {
+	spec, err := jsymphony.ParseChaos("loss:*:0.05@900ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := chaosEnv(t, spec, 1)
+	cfg := matmul.Config{N: 384, Nodes: 4, Seed: 1}
+	env.RunMain("", func(js *jsymphony.JS) {
+		_, err = matmul.Run(js, cfg)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := retriesTotal(env); n == 0 {
+		t.Fatal("no retries recorded under 5% loss")
+	}
+}

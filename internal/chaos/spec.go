@@ -1,0 +1,298 @@
+// Package chaos is the deterministic fault-injection layer of the
+// simulated installation.  The paper defers fault tolerance to future
+// work (§5.1, §7); the repository implements checkpoint-based recovery,
+// retry policies, and failure detection — and this package is what makes
+// those paths first-class tested code instead of happy-path code: it
+// injects node crashes and restarts, link partitions and flaps, per-link
+// message loss/duplication/reordering, and transient node slowdowns,
+// all as ordinary events of the virtual clock.
+//
+// Every fault fires from either an explicit schedule or a seeded PRNG
+// chain, so a chaos run is a byte-reproducible function of (Spec, seed):
+// the same faults hit the same virtual instants, the same messages drop,
+// and the resulting metrics snapshot and span log are identical across
+// runs.  Real machine crashes and flaky switches are substituted by
+// DES-injected state changes on the simulated fabric — the protocol
+// stack above (rmi, nas, core) cannot tell the difference, which is the
+// point: it sees silent peers, lost responses, and stale directories
+// exactly as it would in production.
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Kind names a fault type.
+type Kind string
+
+// The fault vocabulary.  Restart and Heal are the healing halves of
+// Crash and Partition; Loss/Dup/Reorder with a zero parameter act as
+// their own heals.
+const (
+	Crash     Kind = "crash"     // node dies: machine down, hosted objects lost
+	Restart   Kind = "restart"   // node comes back empty (process restart)
+	Partition Kind = "partition" // both directions of a link drop everything
+	Heal      Kind = "heal"      // remove a partition
+	Loss      Kind = "loss"      // link drops each message with probability Rate
+	Dup       Kind = "dup"       // link delivers each message twice with probability Rate
+	Reorder   Kind = "reorder"   // link jitters delivery by up to Jitter (reordering)
+	Slow      Kind = "slow"      // node gains Extra background load (owner returned)
+)
+
+// Fault is one scheduled fault.  Node targets node faults
+// (crash/restart/slow); A and B target link faults ("*" = every link).
+// For > 0 makes the fault transient: the inverse fault fires For later.
+type Fault struct {
+	Kind   Kind
+	At     time.Duration // virtual time the fault fires (0 = immediately)
+	For    time.Duration // transient faults revert after this long (0 = permanent)
+	Node   string        // crash/restart/slow target
+	A, B   string        // link endpoints for partition/heal/loss/dup/reorder
+	Rate   float64       // loss/dup probability, 0..1
+	Jitter time.Duration // reorder: max extra delivery delay
+	Extra  float64       // slow: extra owner load, 0..0.95
+}
+
+// String renders the fault without its schedule ("crash node03",
+// "loss milena/rachel 5%").
+func (f Fault) String() string {
+	switch f.Kind {
+	case Crash, Restart:
+		return fmt.Sprintf("%s %s", f.Kind, f.Node)
+	case Slow:
+		return fmt.Sprintf("slow %s +%.2f", f.Node, f.Extra)
+	case Partition, Heal:
+		return fmt.Sprintf("%s %s/%s", f.Kind, f.A, f.B)
+	case Loss, Dup:
+		return fmt.Sprintf("%s %s/%s %.1f%%", f.Kind, f.A, f.B, f.Rate*100)
+	case Reorder:
+		return fmt.Sprintf("reorder %s/%s %v", f.A, f.B, f.Jitter)
+	}
+	return string(f.Kind)
+}
+
+// inverse returns the fault that undoes f, and whether one exists.
+func (f Fault) inverse() (Fault, bool) {
+	switch f.Kind {
+	case Crash:
+		return Fault{Kind: Restart, Node: f.Node}, true
+	case Partition:
+		return Fault{Kind: Heal, A: f.A, B: f.B}, true
+	case Loss:
+		return Fault{Kind: Loss, A: f.A, B: f.B, Rate: 0}, true
+	case Dup:
+		return Fault{Kind: Dup, A: f.A, B: f.B, Rate: 0}, true
+	case Reorder:
+		return Fault{Kind: Reorder, A: f.A, B: f.B, Jitter: 0}, true
+	case Slow:
+		return Fault{Kind: Slow, Node: f.Node, Extra: 0}, true
+	}
+	return Fault{}, false
+}
+
+// healing reports whether the fault restores health rather than breaking
+// it (used only for trace classification).
+func (f Fault) healing() bool {
+	switch f.Kind {
+	case Restart, Heal:
+		return true
+	case Loss, Dup:
+		return f.Rate == 0
+	case Reorder:
+		return f.Jitter == 0
+	case Slow:
+		return f.Extra == 0
+	}
+	return false
+}
+
+// Spec is a chaos plan: an explicit fault schedule plus optional
+// stochastic generators, all driven by the injector's seed.
+type Spec struct {
+	Faults []Fault
+
+	// Stochastic crash/restart cycles: roughly every CrashEvery
+	// (uniformly jittered ±50%), a random live non-directory node
+	// crashes, coming back CrashDown later.  Zero disables.
+	CrashEvery time.Duration
+	CrashDown  time.Duration
+
+	// Stochastic link flaps: roughly every FlapEvery (jittered ±50%), a
+	// random link partitions for FlapFor, then heals.  Zero disables.
+	FlapEvery time.Duration
+	FlapFor   time.Duration
+}
+
+// String renders the plan, one line per scheduled fault plus the
+// stochastic generators — the output of the shell's "chaos plan".
+func (s *Spec) String() string {
+	var b strings.Builder
+	faults := append([]Fault(nil), s.Faults...)
+	sort.SliceStable(faults, func(i, j int) bool { return faults[i].At < faults[j].At })
+	for _, f := range faults {
+		fmt.Fprintf(&b, "t=%-8v %s", f.At, f)
+		if f.For > 0 {
+			fmt.Fprintf(&b, " (for %v)", f.For)
+		}
+		b.WriteByte('\n')
+	}
+	if s.CrashEvery > 0 {
+		fmt.Fprintf(&b, "stochastic: crash a random node every ~%v, down for %v\n", s.CrashEvery, s.CrashDown)
+	}
+	if s.FlapEvery > 0 {
+		fmt.Fprintf(&b, "stochastic: flap a random link every ~%v, for %v\n", s.FlapEvery, s.FlapFor)
+	}
+	if b.Len() == 0 {
+		return "(empty chaos plan)\n"
+	}
+	return b.String()
+}
+
+// Parse builds a Spec from the compact fault DSL: ';'-separated entries
+//
+//	crash:<node>@<at>[+<for>]        crash (auto-restart after <for>)
+//	restart:<node>@<at>              explicit restart
+//	partition:<a>/<b>@<at>[+<for>]   cut a link (heal after <for>)
+//	heal:<a>/<b>@<at>                explicit heal
+//	loss:<a>/<b>:<rate>@<at>[+<for>] drop messages with probability <rate>
+//	dup:<a>/<b>:<rate>@<at>[+<for>]  duplicate messages
+//	reorder:<a>/<b>:<jitter>@<at>[+<for>]  jitter deliveries by up to <jitter>
+//	slow:<node>:<extra>@<at>[+<for>] add <extra> background load
+//	crashes:<mean>+<down>            stochastic crash/restart cycles
+//	flaps:<mean>+<for>               stochastic link flaps
+//
+// Link endpoints accept "*" for "every link" ("loss:*:0.05@500ms").
+// Durations use Go syntax ("1.5s", "600ms"); rates are 0..1.
+func Parse(s string) (*Spec, error) {
+	spec := &Spec{}
+	for _, entry := range strings.Split(s, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(entry, "crashes:"); ok {
+			mean, down, err := parsePair(rest)
+			if err != nil {
+				return nil, fmt.Errorf("chaos: %q: %w", entry, err)
+			}
+			spec.CrashEvery, spec.CrashDown = mean, down
+			continue
+		}
+		if rest, ok := strings.CutPrefix(entry, "flaps:"); ok {
+			mean, dur, err := parsePair(rest)
+			if err != nil {
+				return nil, fmt.Errorf("chaos: %q: %w", entry, err)
+			}
+			spec.FlapEvery, spec.FlapFor = mean, dur
+			continue
+		}
+		f, err := ParseFault(entry)
+		if err != nil {
+			return nil, err
+		}
+		spec.Faults = append(spec.Faults, f)
+	}
+	return spec, nil
+}
+
+// parsePair parses "<dur>+<dur>".
+func parsePair(s string) (time.Duration, time.Duration, error) {
+	left, right, ok := strings.Cut(s, "+")
+	if !ok {
+		return 0, 0, fmt.Errorf("want <duration>+<duration>")
+	}
+	a, err := time.ParseDuration(strings.TrimSpace(left))
+	if err != nil {
+		return 0, 0, err
+	}
+	b, err := time.ParseDuration(strings.TrimSpace(right))
+	if err != nil {
+		return 0, 0, err
+	}
+	return a, b, nil
+}
+
+// ParseFault parses one scheduled-fault entry of the DSL.  The "@<at>"
+// part is optional ("chaos inject crash:node03" fires immediately).
+func ParseFault(entry string) (Fault, error) {
+	entry = strings.TrimSpace(entry)
+	spec, sched, hasAt := strings.Cut(entry, "@")
+	var f Fault
+	if hasAt {
+		atStr, forStr, hasFor := strings.Cut(sched, "+")
+		at, err := time.ParseDuration(strings.TrimSpace(atStr))
+		if err != nil {
+			return Fault{}, fmt.Errorf("chaos: %q: bad time: %w", entry, err)
+		}
+		f.At = at
+		if hasFor {
+			d, err := time.ParseDuration(strings.TrimSpace(forStr))
+			if err != nil {
+				return Fault{}, fmt.Errorf("chaos: %q: bad duration: %w", entry, err)
+			}
+			f.For = d
+		}
+	}
+	parts := strings.Split(spec, ":")
+	if len(parts) < 2 {
+		return Fault{}, fmt.Errorf("chaos: %q: want kind:target[:param]", entry)
+	}
+	f.Kind = Kind(strings.TrimSpace(parts[0]))
+	target := strings.TrimSpace(parts[1])
+	param := ""
+	if len(parts) > 2 {
+		param = strings.TrimSpace(parts[2])
+	}
+	setLink := func() error {
+		if target == "*" {
+			f.A, f.B = "*", "*"
+			return nil
+		}
+		a, b, ok := strings.Cut(target, "/")
+		if !ok {
+			return fmt.Errorf("chaos: %q: link target wants a/b or *", entry)
+		}
+		f.A, f.B = strings.TrimSpace(a), strings.TrimSpace(b)
+		return nil
+	}
+	switch f.Kind {
+	case Crash, Restart:
+		f.Node = target
+	case Slow:
+		f.Node = target
+		x, err := strconv.ParseFloat(param, 64)
+		if err != nil {
+			return Fault{}, fmt.Errorf("chaos: %q: bad extra load %q", entry, param)
+		}
+		f.Extra = x
+	case Partition, Heal:
+		if err := setLink(); err != nil {
+			return Fault{}, err
+		}
+	case Loss, Dup:
+		if err := setLink(); err != nil {
+			return Fault{}, err
+		}
+		r, err := strconv.ParseFloat(param, 64)
+		if err != nil || r < 0 || r > 1 {
+			return Fault{}, fmt.Errorf("chaos: %q: bad rate %q (want 0..1)", entry, param)
+		}
+		f.Rate = r
+	case Reorder:
+		if err := setLink(); err != nil {
+			return Fault{}, err
+		}
+		j, err := time.ParseDuration(param)
+		if err != nil {
+			return Fault{}, fmt.Errorf("chaos: %q: bad jitter %q", entry, param)
+		}
+		f.Jitter = j
+	default:
+		return Fault{}, fmt.Errorf("chaos: %q: unknown fault kind %q", entry, parts[0])
+	}
+	return f, nil
+}

@@ -1,0 +1,131 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseFault(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Fault
+	}{
+		{"crash:node03", Fault{Kind: Crash, Node: "node03"}},
+		{"crash:node03@1.5s+2s", Fault{Kind: Crash, Node: "node03", At: 1500 * time.Millisecond, For: 2 * time.Second}},
+		{"restart:node03@3s", Fault{Kind: Restart, Node: "node03", At: 3 * time.Second}},
+		{"partition:a/b@1s+500ms", Fault{Kind: Partition, A: "a", B: "b", At: time.Second, For: 500 * time.Millisecond}},
+		{"heal:a/b", Fault{Kind: Heal, A: "a", B: "b"}},
+		{"loss:*:0.05@600ms", Fault{Kind: Loss, A: "*", B: "*", Rate: 0.05, At: 600 * time.Millisecond}},
+		{"dup:milena/rachel:0.1", Fault{Kind: Dup, A: "milena", B: "rachel", Rate: 0.1}},
+		{"reorder:a/b:3ms", Fault{Kind: Reorder, A: "a", B: "b", Jitter: 3 * time.Millisecond}},
+		{"slow:node02:0.8@2s+1s", Fault{Kind: Slow, Node: "node02", Extra: 0.8, At: 2 * time.Second, For: time.Second}},
+	}
+	for _, tc := range cases {
+		got, err := ParseFault(tc.in)
+		if err != nil {
+			t.Errorf("ParseFault(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseFault(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParseFaultErrors(t *testing.T) {
+	bad := []string{
+		"",                    // no kind:target
+		"crash",               // no target
+		"explode:node01",      // unknown kind
+		"loss:a/b:1.5",        // rate out of range
+		"loss:a/b:-0.1",       // negative rate
+		"loss:ab:0.1",         // link target without slash
+		"reorder:a/b:fast",    // jitter not a duration
+		"slow:node01:plenty",  // extra not a float
+		"crash:node01@soon",   // bad time
+		"crash:node01@1s+now", // bad duration
+	}
+	for _, in := range bad {
+		if f, err := ParseFault(in); err == nil {
+			t.Errorf("ParseFault(%q) = %+v, want error", in, f)
+		}
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	spec, err := Parse("crash:node03@1.5s+2s; loss:*:0.05@600ms; crashes:20s+5s; flaps:10s+300ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Faults) != 2 {
+		t.Fatalf("got %d scheduled faults, want 2", len(spec.Faults))
+	}
+	if spec.CrashEvery != 20*time.Second || spec.CrashDown != 5*time.Second {
+		t.Fatalf("crash generator: %v/%v", spec.CrashEvery, spec.CrashDown)
+	}
+	if spec.FlapEvery != 10*time.Second || spec.FlapFor != 300*time.Millisecond {
+		t.Fatalf("flap generator: %v/%v", spec.FlapEvery, spec.FlapFor)
+	}
+
+	if _, err := Parse("crashes:20s"); err == nil {
+		t.Fatal("crashes without +down parsed")
+	}
+	empty, err := Parse("  ;  ")
+	if err != nil || len(empty.Faults) != 0 {
+		t.Fatalf("blank spec: %v %+v", err, empty)
+	}
+}
+
+func TestSpecString(t *testing.T) {
+	spec, err := Parse("loss:*:0.05@600ms; crash:node03@1.5s+2s; crashes:20s+5s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := spec.String()
+	// Faults render sorted by fire time, with transient duration.
+	wantLines := []string{
+		"loss */* 5.0%",
+		"crash node03 (for 2s)",
+		"stochastic: crash a random node every ~20s, down for 5s",
+	}
+	for _, w := range wantLines {
+		if !strings.Contains(out, w) {
+			t.Errorf("plan %q missing %q", out, w)
+		}
+	}
+	if strings.Index(out, "loss") > strings.Index(out, "crash node03") {
+		t.Errorf("plan not sorted by time:\n%s", out)
+	}
+	if (&Spec{}).String() != "(empty chaos plan)\n" {
+		t.Errorf("empty plan renders %q", (&Spec{}).String())
+	}
+}
+
+func TestFaultInverse(t *testing.T) {
+	cases := []struct {
+		in   Fault
+		want Fault
+	}{
+		{Fault{Kind: Crash, Node: "n"}, Fault{Kind: Restart, Node: "n"}},
+		{Fault{Kind: Partition, A: "a", B: "b"}, Fault{Kind: Heal, A: "a", B: "b"}},
+		{Fault{Kind: Loss, A: "a", B: "b", Rate: 0.5}, Fault{Kind: Loss, A: "a", B: "b"}},
+		{Fault{Kind: Reorder, A: "a", B: "b", Jitter: time.Millisecond}, Fault{Kind: Reorder, A: "a", B: "b"}},
+		{Fault{Kind: Slow, Node: "n", Extra: 0.5}, Fault{Kind: Slow, Node: "n"}},
+	}
+	for _, tc := range cases {
+		got, ok := tc.in.inverse()
+		if !ok || got != tc.want {
+			t.Errorf("inverse(%+v) = %+v/%v, want %+v", tc.in, got, ok, tc.want)
+		}
+		if tc.in.healing() {
+			t.Errorf("%+v classified as healing", tc.in)
+		}
+		if !got.healing() {
+			t.Errorf("inverse %+v not classified as healing", got)
+		}
+	}
+	if _, ok := (Fault{Kind: Restart, Node: "n"}).inverse(); ok {
+		t.Error("restart has an inverse")
+	}
+}

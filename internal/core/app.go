@@ -33,6 +33,7 @@ type App struct {
 	autoGen    int
 	ckptPeriod time.Duration
 	ckptGen    int
+	recovering map[string]bool // dead nodes with a recovery pass in flight
 }
 
 // objEntry is one local-objects-table row.
@@ -229,6 +230,8 @@ func (a *App) traceNASEvents(notify func(nas.Event)) func(nas.Event) {
 			a.world.emit(trace.Event{Kind: trace.NodeFailed, Node: e.Node, Detail: e.Component})
 		case nas.EventManagerChanged:
 			a.world.emit(trace.Event{Kind: trace.ManagerChanged, Node: e.Node, Detail: e.Component + " (was " + e.Old + ")"})
+		case nas.EventNodeRecovered:
+			a.world.emit(trace.Event{Kind: trace.NodeRecovered, Node: e.Node, Detail: e.Component})
 		}
 		if notify != nil {
 			notify(e)

@@ -239,7 +239,11 @@ func (a *App) invokeObject(p sched.Proc, id uint64, method string, args []any, k
 			return res, nil
 		}
 		lastErr = err
-		if !rmi.IsRemote(err, errObjBusy) && !rmi.IsRemote(err, errObjMoved) {
+		// Retryable: busy (migrating), moved (stale table entry — our own
+		// recovery updates it), and timed out (the host may have crashed;
+		// backing off lets detection and recovery repoint the entry).
+		if !rmi.IsRemote(err, errObjBusy) && !rmi.IsRemote(err, errObjMoved) &&
+			!errors.Is(err, rmi.ErrTimeout) {
 			sr.finish(loc, 0, err)
 			return nil, err
 		}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"jsymphony/internal/nas"
@@ -46,6 +47,10 @@ func (a *App) EnableRecovery(period time.Duration) {
 	if period <= 0 {
 		return
 	}
+	// Failures found by the installation-level detector (chaos-injected
+	// crashes in particular) must reach this application too, not only
+	// those observed through an activated architecture.
+	a.world.ArmFailureDetector()
 	a.world.s.Spawn("oas.checkpoint:"+a.id, func(p sched.Proc) {
 		for {
 			p.Sleep(period)
@@ -67,7 +72,8 @@ func (a *App) RecoveryEnabled() bool {
 	return a.ckptPeriod > 0
 }
 
-// checkpointAll persists every live object once.
+// checkpointAll persists every live object once, in handle order so the
+// RMI traffic of a checkpoint pass is deterministic.
 func (a *App) checkpointAll(p sched.Proc) {
 	a.mu.Lock()
 	entries := make([]*objEntry, 0, len(a.objs))
@@ -77,6 +83,7 @@ func (a *App) checkpointAll(p sched.Proc) {
 		}
 	}
 	a.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].ref.ID < entries[j].ref.ID })
 	for _, e := range entries {
 		a.mu.Lock()
 		loc, ref, freed := e.location, e.ref, e.freed
@@ -96,6 +103,16 @@ func (a *App) checkpointAll(p sched.Proc) {
 // recovered and those that could not be (no checkpoint).
 func (a *App) RecoverFrom(p sched.Proc, deadNode string) (recovered, lost []Ref) {
 	a.mu.Lock()
+	// One recovery pass per dead node at a time: the detector and an
+	// activated architecture may both report the same failure.
+	if a.recovering == nil {
+		a.recovering = make(map[string]bool)
+	}
+	if a.recovering[deadNode] {
+		a.mu.Unlock()
+		return nil, nil
+	}
+	a.recovering[deadNode] = true
 	var victims []*objEntry
 	for _, e := range a.objs {
 		if !e.freed && e.location == deadNode {
@@ -103,6 +120,13 @@ func (a *App) RecoverFrom(p sched.Proc, deadNode string) (recovered, lost []Ref)
 		}
 	}
 	a.mu.Unlock()
+	defer func() {
+		a.mu.Lock()
+		delete(a.recovering, deadNode)
+		a.mu.Unlock()
+	}()
+	// Handle order keeps the recovery RMI sequence deterministic.
+	sort.Slice(victims, func(i, j int) bool { return victims[i].ref.ID < victims[j].ref.ID })
 
 	for _, e := range victims {
 		if a.recoverEntry(p, e, deadNode) {
@@ -143,17 +167,28 @@ func (a *App) recoverEntry(p sched.Proc, e *objEntry, deadNode string) bool {
 	return false
 }
 
-// liveCandidates returns placement candidates minus the dead node.
+// liveCandidates returns placement candidates minus the dead node and
+// minus anything the directory currently considers dead: a recovery
+// triggered by one crash must not re-materialize the object onto a node
+// that died in an earlier fault (a chaos plan can take several down).
 func (a *App) liveCandidates(p sched.Proc, comp virtarch.Component, constr *params.Constraints, deadNode string) []string {
 	cands, err := a.placementCandidates(p, comp, constr)
 	if err != nil {
 		return nil
 	}
+	var live map[string]bool
+	if dir := a.world.dir; dir != nil {
+		live = make(map[string]bool)
+		for _, n := range dir.Nodes(a.world.s.Now()) {
+			live[n] = true
+		}
+	}
 	out := cands[:0]
 	for _, n := range cands {
-		if n != deadNode {
-			out = append(out, n)
+		if n == deadNode || (live != nil && !live[n]) {
+			continue
 		}
+		out = append(out, n)
 	}
 	return out
 }

@@ -127,6 +127,19 @@ func (rt *Runtime) Compute(p sched.Proc, flops float64) {
 	}
 }
 
+// Crash models the JRS process on this node dying with its machine: the
+// remote-objects table and the foreign-location cache vanish.  After a
+// restart, invocations arriving here find nothing hosted and fail with
+// the moved sentinel, exactly as on a freshly booted node; callers then
+// re-resolve through the origin AppOA, which recovery has repointed.
+func (rt *Runtime) Crash() {
+	rt.mu.Lock()
+	rt.hosted = make(map[objKey]*hostedObj)
+	rt.locCache = make(map[objKey]string)
+	rt.mu.Unlock()
+	rt.agent.SetObjects(0)
+}
+
 // Objects returns the number of hosted objects.
 func (rt *Runtime) Objects() int {
 	rt.mu.Lock()
@@ -529,13 +542,17 @@ func (rt *Runtime) InvokeRefTraced(p sched.Proc, parent uint64, kind trace.SpanK
 			return res, nil
 		}
 		lastErr = err
-		if !rmi.IsRemote(err, errObjMoved) && !rmi.IsRemote(err, errObjBusy) && !rmi.IsRemote(err, errObjUnknown) {
+		if !rmi.IsRemote(err, errObjMoved) && !rmi.IsRemote(err, errObjBusy) &&
+			!rmi.IsRemote(err, errObjUnknown) && !errors.Is(err, rmi.ErrTimeout) {
 			sr.finish(loc, 0, err)
 			return nil, err
 		}
-		if rmi.IsRemote(err, errObjBusy) {
+		if rmi.IsRemote(err, errObjBusy) || errors.Is(err, rmi.ErrTimeout) {
 			// Migration in progress: block-and-retry (the paper's RMI
-			// simply waits), with bounded backoff.
+			// simply waits), with bounded backoff.  A timed-out call gets
+			// the same treatment: the host may have crashed, and backing
+			// off gives failure detection and recovery time to relocate
+			// the object before the next locate.
 			p.Sleep(backoff)
 			if backoff < 50*time.Millisecond {
 				backoff *= 2

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"sync"
 
+	"jsymphony/internal/chaos"
 	"jsymphony/internal/codebase"
 	"jsymphony/internal/metrics"
 	"jsymphony/internal/nas"
@@ -75,6 +77,8 @@ type World struct {
 	started     bool
 	shutDown    bool
 	hierarchies []*nas.Hierarchy
+	detector    *nas.Detector   // nil until ArmFailureDetector
+	chaosInj    *chaos.Injector // nil until InstallChaos
 }
 
 // NewSimWorld builds a virtual-time world over a simulated cluster.
@@ -179,6 +183,10 @@ func (w *World) addNode(net rmi.Network, name string, mach *simnet.Machine, samp
 	st.SetMetrics(w.reg)
 	st.SetTimeoutHook(func(to, service, method string) {
 		w.emit(trace.Event{Kind: trace.CallTimeout, Node: name,
+			Detail: fmt.Sprintf("%s.%s on %s", service, method, to)})
+	})
+	st.SetRetryHook(func(to, service, method string) {
+		w.emit(trace.Event{Kind: trace.CallRetry, Node: name,
 			Detail: fmt.Sprintf("%s.%s on %s", service, method, to)})
 	})
 	first := w.dirNode == ""
@@ -316,6 +324,179 @@ func (w *World) SetAutoMigration(period time.Duration) {
 	}
 }
 
+// SetRMIPolicy installs a sync-call retry policy on every station of the
+// installation (see rmi.Policy).  Call before heavy traffic starts;
+// in-flight calls keep the policy they began with.
+func (w *World) SetRMIPolicy(pol rmi.Policy) {
+	w.mu.Lock()
+	rts := make([]*Runtime, 0, len(w.order))
+	for _, n := range w.order {
+		rts = append(rts, w.runtimes[n])
+	}
+	w.mu.Unlock()
+	for _, rt := range rts {
+		rt.st.SetPolicy(pol)
+	}
+}
+
+// chaosTarget adapts the world to the chaos.Target surface: faults act
+// on the simulated fabric and on the per-node runtime state.
+type chaosTarget struct{ w *World }
+
+func (t chaosTarget) Nodes() []string { return t.w.Nodes() }
+
+func (t chaosTarget) machine(node string) (*Runtime, error) {
+	rt, ok := t.w.Runtime(node)
+	if !ok {
+		return nil, fmt.Errorf("core: chaos: no such node %q", node)
+	}
+	if rt.mach == nil {
+		return nil, errors.New("core: chaos requires a simulated fabric")
+	}
+	return rt, nil
+}
+
+// Crash kills the machine and drops the node's process state: hosted
+// objects and location caches are lost, exactly as a JRS process death
+// would lose them.
+func (t chaosTarget) Crash(node string) error {
+	rt, err := t.machine(node)
+	if err != nil {
+		return err
+	}
+	rt.mach.Kill()
+	rt.Crash()
+	return nil
+}
+
+// Restart revives the machine with an empty object store and relaunches
+// its monitoring agent, so the directory sees it reporting again.
+func (t chaosTarget) Restart(node string) error {
+	rt, err := t.machine(node)
+	if err != nil {
+		return err
+	}
+	rt.mach.Revive()
+	rt.agent.Restart()
+	return nil
+}
+
+func (t chaosTarget) checkEndpoint(name string) error {
+	if name == "*" {
+		return nil
+	}
+	if _, ok := t.w.Runtime(name); !ok {
+		return fmt.Errorf("core: chaos: no such node %q", name)
+	}
+	return nil
+}
+
+func (t chaosTarget) SetPartitioned(a, b string, on bool) error {
+	if err := t.checkEndpoint(a); err != nil {
+		return err
+	}
+	if err := t.checkEndpoint(b); err != nil {
+		return err
+	}
+	t.w.fab.SetPartitioned(a, b, on)
+	return nil
+}
+
+func (t chaosTarget) SetLink(a, b string, pol simnet.LinkPolicy) error {
+	if err := t.checkEndpoint(a); err != nil {
+		return err
+	}
+	if err := t.checkEndpoint(b); err != nil {
+		return err
+	}
+	t.w.fab.SetLinkPolicy(a, b, pol)
+	return nil
+}
+
+func (t chaosTarget) SetSlowdown(node string, extra float64) error {
+	rt, err := t.machine(node)
+	if err != nil {
+		return err
+	}
+	rt.mach.SetExtraLoad(extra)
+	return nil
+}
+
+// InstallChaos builds and starts the fault injector for this world.  It
+// also arms the failure detector, so injected crashes surface as
+// NodeFailed/NodeRecovered events and trigger recovery for applications
+// that enabled it.  Only simulated worlds support chaos; installing
+// twice is an error (the injector owns the world's fault state).
+func (w *World) InstallChaos(spec *chaos.Spec, seed int64) (*chaos.Injector, error) {
+	if w.fab == nil {
+		return nil, errors.New("core: chaos requires a simulated world")
+	}
+	inj := chaos.New(chaos.Config{
+		Sched:   w.s,
+		Target:  chaosTarget{w},
+		Spec:    spec,
+		Seed:    seed,
+		Emit:    w.emit,
+		Metrics: w.reg,
+	})
+	w.mu.Lock()
+	if w.chaosInj != nil {
+		w.mu.Unlock()
+		return nil, errors.New("core: chaos already installed")
+	}
+	w.chaosInj = inj
+	w.mu.Unlock()
+	w.ArmFailureDetector()
+	inj.Start()
+	return inj, nil
+}
+
+// Chaos returns the installed injector (nil if InstallChaos was never
+// called).
+func (w *World) Chaos() *chaos.Injector {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.chaosInj
+}
+
+// ArmFailureDetector starts the directory-side failure detector
+// (idempotent).  Detected failures are traced, counted, and — for
+// applications with recovery enabled — handed to RecoverFrom.
+func (w *World) ArmFailureDetector() {
+	w.mu.Lock()
+	if w.detector != nil || w.dir == nil {
+		w.mu.Unlock()
+		return
+	}
+	det := nas.NewDetector(w.s, w.dir, w.nasCfg, w.onLiveness)
+	w.detector = det
+	w.mu.Unlock()
+	det.Start()
+}
+
+// onLiveness reacts to detector events.
+func (w *World) onLiveness(e nas.Event) {
+	switch e.Kind {
+	case nas.EventNodeFailed:
+		w.emit(trace.Event{Kind: trace.NodeFailed, Node: e.Node, Detail: "detector"})
+		w.reg.Counter("js_core_node_failures_total").Inc()
+		w.mu.Lock()
+		apps := append([]*App(nil), w.apps...)
+		w.mu.Unlock()
+		for _, a := range apps {
+			if a.RecoveryEnabled() {
+				app, node := a, e.Node
+				w.s.Spawn("oas.recover:"+app.id, func(p sched.Proc) {
+					app.RecoverFrom(p, node)
+				})
+			}
+		}
+	case nas.EventNodeRecovered:
+		w.emit(trace.Event{Kind: trace.NodeRecovered, Node: e.Node, Detail: "detector"})
+		w.reg.Counter("js_core_node_recoveries_total").Inc()
+	}
+}
+
 // Start launches every station and agent.
 func (w *World) Start() {
 	w.mu.Lock()
@@ -360,8 +541,18 @@ func (w *World) Shutdown(p sched.Proc) {
 	for _, n := range w.order {
 		rts = append(rts, w.runtimes[n])
 	}
+	inj := w.chaosInj
+	det := w.detector
 	w.mu.Unlock()
 
+	// Quiesce fault injection first: no new faults, reverts, or failure
+	// detections may fire into a tearing-down installation.
+	if inj != nil {
+		inj.Stop()
+	}
+	if det != nil {
+		det.Stop()
+	}
 	for _, a := range apps {
 		a.stopEngine()
 	}

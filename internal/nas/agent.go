@@ -80,6 +80,7 @@ type Agent struct {
 	aggs    map[string]params.Snapshot
 	objects int // JavaSymphony objects hosted (fed by the OAS layer)
 	stopped bool
+	gen     int // monitor-loop generation; stale loops exit at their next tick
 }
 
 // NewAgent builds the agent for st's node and registers the AgentService.
@@ -112,7 +113,23 @@ func (a *Agent) Alive() bool { return a.sampler.Alive() }
 
 // Start spawns the monitor loop.
 func (a *Agent) Start() {
-	a.st.Sched().Spawn("nas:"+a.Node(), a.monitor)
+	a.mu.Lock()
+	a.stopped = false
+	a.gen++
+	gen := a.gen
+	a.mu.Unlock()
+	a.st.Sched().Spawn("nas:"+a.Node(), func(p sched.Proc) { a.monitor(p, gen) })
+}
+
+// Restart re-launches the monitor loop after a node restart (the loop
+// exits permanently when its machine dies).  The generation counter
+// retires any loop a previous Start left behind, so Restart never
+// double-reports.  It is a no-op on a closed station.
+func (a *Agent) Restart() {
+	if a.st.Closed() {
+		return
+	}
+	a.Start()
 }
 
 // Stop halts the monitor loop at its next tick.
@@ -168,12 +185,13 @@ func (a *Agent) Agg(component string) (params.Snapshot, bool) {
 	return s.Clone(), true
 }
 
-// monitor is the periodic sampling/reporting loop.
-func (a *Agent) monitor(p sched.Proc) {
+// monitor is the periodic sampling/reporting loop.  gen guards against a
+// restarted agent running two loops: the stale one exits here.
+func (a *Agent) monitor(p sched.Proc, gen int) {
 	lastServed := a.st.Stats().Served
 	for {
 		a.mu.Lock()
-		stopped := a.stopped
+		stopped := a.stopped || a.gen != gen
 		objects := a.objects
 		a.mu.Unlock()
 		if stopped {

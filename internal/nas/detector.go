@@ -1,0 +1,89 @@
+package nas
+
+import (
+	"sync"
+
+	"jsymphony/internal/sched"
+)
+
+// Detector turns the directory's freshness bookkeeping into explicit
+// liveness events: when a node's reports go stale past FailTimeout it is
+// "said to have caused a failure" (§5.1) and an EventNodeFailed fires;
+// when a failed node resumes reporting, EventNodeRecovered fires.  It
+// runs colocated with the directory and reads it directly — no RMI — so
+// detection itself cannot be partitioned away from the data it reads.
+type Detector struct {
+	s      sched.Sched
+	dir    *Directory
+	cfg    Config
+	notify func(Event)
+
+	mu      sync.Mutex
+	known   map[string]bool // node → alive as of the last poll
+	stopped bool
+}
+
+// NewDetector builds a detector over dir, delivering events to notify.
+// Call Start to launch it.
+func NewDetector(s sched.Sched, dir *Directory, cfg Config, notify func(Event)) *Detector {
+	return &Detector{
+		s:      s,
+		dir:    dir,
+		cfg:    cfg.withDefaults(),
+		notify: notify,
+		known:  make(map[string]bool),
+	}
+}
+
+// Start spawns the polling loop.
+func (d *Detector) Start() {
+	d.s.Spawn("nas.detector:"+d.dir.Node(), d.loop)
+}
+
+// Stop halts the loop at its next tick.
+func (d *Detector) Stop() {
+	d.mu.Lock()
+	d.stopped = true
+	d.mu.Unlock()
+}
+
+// loop polls every MonitorPeriod and notifies on liveness transitions.
+// Nodes are visited in the directory's sorted order, so the event
+// sequence of a run is deterministic.
+func (d *Detector) loop(p sched.Proc) {
+	for {
+		d.mu.Lock()
+		if d.stopped {
+			d.mu.Unlock()
+			return
+		}
+		d.mu.Unlock()
+
+		now := p.Sched().Now()
+		live := d.dir.Nodes(now)
+		dead := d.dir.DeadNodes(now)
+
+		var events []Event
+		d.mu.Lock()
+		for _, n := range live {
+			was, seen := d.known[n]
+			if seen && !was {
+				events = append(events, Event{Kind: EventNodeRecovered, Node: n})
+			}
+			d.known[n] = true
+		}
+		for _, n := range dead {
+			was, seen := d.known[n]
+			if !seen || was {
+				events = append(events, Event{Kind: EventNodeFailed, Node: n})
+			}
+			d.known[n] = false
+		}
+		d.mu.Unlock()
+
+		for _, e := range events {
+			d.notify(e)
+		}
+		p.Sleep(d.cfg.MonitorPeriod)
+	}
+}

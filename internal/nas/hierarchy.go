@@ -57,6 +57,9 @@ const (
 	// EventManagerChanged: a backup manager took over a component
 	// (§5.1 failure rule 2), or a voluntary release moved the role.
 	EventManagerChanged
+	// EventNodeRecovered: a previously failed node resumed reporting
+	// (emitted by the failure detector, not by hierarchies).
+	EventNodeRecovered
 )
 
 // Event is a hierarchy notification delivered to the JS-Shell / OAS.
@@ -73,6 +76,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("node %s failed (%s)", e.Node, e.Component)
 	case EventManagerChanged:
 		return fmt.Sprintf("manager of %s: %s -> %s", e.Component, e.Old, e.Node)
+	case EventNodeRecovered:
+		return fmt.Sprintf("node %s recovered (%s)", e.Node, e.Component)
 	}
 	return "unknown event"
 }

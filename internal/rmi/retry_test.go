@@ -1,0 +1,223 @@
+package rmi
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"jsymphony/internal/sched"
+)
+
+// lossPair builds two connected stations over a lossy in-process
+// network, with an execution counter on b's echo service.
+func lossPair(t *testing.T) (net *MemNetwork, a, b *Station, served *atomic.Int64) {
+	t.Helper()
+	s := sched.Real()
+	net = NewMem(s, 0)
+	epA, _ := net.Attach("a")
+	epB, _ := net.Attach("b")
+	a = NewStation(s, epA)
+	b = NewStation(s, epB)
+	served = new(atomic.Int64)
+	b.Register("echo", func(p sched.Proc, from, method string, body []byte) ([]byte, error) {
+		served.Add(1)
+		return body, nil
+	})
+	a.Start()
+	b.Start()
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return net, a, b, served
+}
+
+func TestLossRateDropsSomeCalls(t *testing.T) {
+	net, a, _, _ := lossPair(t)
+	net.SetLossRate(0.4)
+	p := sched.RealProc(a.s)
+	okCount, timeouts := 0, 0
+	for i := 0; i < 60; i++ {
+		_, err := a.Call(p, "b", "echo", "m", nil, 30*time.Millisecond)
+		switch {
+		case err == nil:
+			okCount++
+		case errors.Is(err, ErrTimeout):
+			timeouts++
+		default:
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	if okCount == 0 {
+		t.Fatal("every call lost at 40% loss")
+	}
+	if timeouts == 0 {
+		t.Fatal("no call lost at 40% loss")
+	}
+
+	// Loss off: everything goes through again.
+	net.SetLossRate(0)
+	for i := 0; i < 10; i++ {
+		if _, err := a.Call(p, "b", "echo", "m", nil, time.Second); err != nil {
+			t.Fatalf("call with loss disabled: %v", err)
+		}
+	}
+}
+
+func TestLossRateClamped(t *testing.T) {
+	net, a, _, _ := lossPair(t)
+	net.SetLossRate(-1) // clamps to 0
+	net.SetLossRate(2)  // clamps to 1: every message drops
+	p := sched.RealProc(a.s)
+	if _, err := a.Call(p, "b", "echo", "m", nil, 20*time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("call at 100%% loss: %v", err)
+	}
+}
+
+// TestTimeoutIsTyped pins the satellite fix: a sync-call timeout is the
+// typed ErrTimeout, recognizable with errors.Is even through further
+// wrapping, and the message names the call.
+func TestTimeoutIsTyped(t *testing.T) {
+	net, a, _, _ := lossPair(t)
+	net.SetLossRate(1)
+	p := sched.RealProc(a.s)
+	_, err := a.Call(p, "b", "echo", "m", nil, 15*time.Millisecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+	wrapped := fmt.Errorf("invoking object: %w", err)
+	if !errors.Is(wrapped, ErrTimeout) {
+		t.Fatalf("ErrTimeout lost through wrapping: %v", wrapped)
+	}
+	for _, frag := range []string{"echo", "on b"} {
+		if !containsStr(err.Error(), frag) {
+			t.Fatalf("timeout error %q does not mention %q", err, frag)
+		}
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// TestZeroPolicySingleAttempt: the zero Policy is the historical
+// behavior — one attempt, no retries, and requests are not marked
+// idempotent (so the receiver keeps no dedup state).
+func TestZeroPolicySingleAttempt(t *testing.T) {
+	net, a, b, served := lossPair(t)
+	p := sched.RealProc(a.s)
+	if _, err := a.Call(p, "b", "echo", "m", nil, time.Second); err != nil {
+		t.Fatalf("clean call: %v", err)
+	}
+	net.SetLossRate(1)
+	if _, err := a.Call(p, "b", "echo", "m", nil, 15*time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("lossy call: %v", err)
+	}
+	st := a.Stats()
+	if st.Retries != 0 {
+		t.Fatalf("zero policy retried: %+v", st)
+	}
+	if bs := b.Stats(); bs.Dups != 0 {
+		t.Fatalf("zero policy produced dedup hits: %+v", bs)
+	}
+	if served.Load() != 1 {
+		t.Fatalf("handler ran %d times, want 1", served.Load())
+	}
+}
+
+// TestRetryRecoversFromLoss: with a retry policy, every call survives
+// 20% message loss, and the handler runs exactly once per call — the
+// receiver's (sender, ID) dedup turns at-least-once resends into
+// exactly-once execution even when responses (not requests) are lost.
+func TestRetryRecoversFromLoss(t *testing.T) {
+	net, a, _, served := lossPair(t)
+	a.SetPolicy(Policy{
+		AttemptTimeout: 20 * time.Millisecond,
+		Retries:        10,
+		Backoff:        2 * time.Millisecond,
+		BackoffMax:     20 * time.Millisecond,
+		Multiplier:     2,
+	})
+	net.SetLossRate(0.2)
+	p := sched.RealProc(a.s)
+	const calls = 40
+	for i := 0; i < calls; i++ {
+		body, err := a.Call(p, "b", "echo", fmt.Sprintf("m%d", i), []byte{byte(i)}, 2*time.Second)
+		if err != nil {
+			t.Fatalf("call %d under 20%% loss: %v", i, err)
+		}
+		if len(body) != 1 || body[0] != byte(i) {
+			t.Fatalf("call %d: wrong body %v", i, body)
+		}
+	}
+	if served.Load() != calls {
+		t.Fatalf("handler ran %d times for %d calls — dedup failed", served.Load(), calls)
+	}
+	if st := a.Stats(); st.Retries == 0 {
+		t.Fatal("no retries recorded under 20% loss")
+	}
+}
+
+// TestDedupInFlight: resends arriving while the original execution is
+// still running are dropped silently (no second execution, no cached
+// response yet), and the original response still completes the call.
+func TestDedupInFlight(t *testing.T) {
+	s := sched.Real()
+	net := NewMem(s, 0)
+	epA, _ := net.Attach("a")
+	epB, _ := net.Attach("b")
+	a := NewStation(s, epA)
+	b := NewStation(s, epB)
+	var served atomic.Int64
+	b.Register("slow", func(p sched.Proc, from, method string, body []byte) ([]byte, error) {
+		served.Add(1)
+		p.Sleep(60 * time.Millisecond) // slower than several attempt windows
+		return []byte("done"), nil
+	})
+	a.Start()
+	b.Start()
+	defer a.Close()
+	defer b.Close()
+	a.SetPolicy(Policy{
+		AttemptTimeout: 10 * time.Millisecond,
+		Retries:        8,
+		Backoff:        5 * time.Millisecond,
+	})
+	p := sched.RealProc(s)
+	body, err := a.Call(p, "b", "slow", "m", nil, 2*time.Second)
+	if err != nil {
+		t.Fatalf("slow call with retries: %v", err)
+	}
+	if string(body) != "done" {
+		t.Fatalf("wrong body %q", body)
+	}
+	if served.Load() != 1 {
+		t.Fatalf("slow handler ran %d times, want 1", served.Load())
+	}
+	if bs := b.Stats(); bs.Dups == 0 {
+		t.Fatal("no in-flight duplicates recorded despite resends")
+	}
+	if as := a.Stats(); as.Retries == 0 {
+		t.Fatal("no retries recorded despite a 60ms handler and 10ms attempts")
+	}
+}
+
+// TestRetryHookFires: the per-retry hook observes each resend.
+func TestRetryHookFires(t *testing.T) {
+	net, a, _, _ := lossPair(t)
+	var hooks atomic.Int64
+	a.SetRetryHook(func(to, service, method string) { hooks.Add(1) })
+	a.SetPolicy(Policy{AttemptTimeout: 10 * time.Millisecond, Retries: 3, Backoff: 2 * time.Millisecond})
+	net.SetLossRate(1)
+	p := sched.RealProc(a.s)
+	if _, err := a.Call(p, "b", "echo", "m", nil, time.Second); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("call at 100%% loss: %v", err)
+	}
+	if hooks.Load() != 3 {
+		t.Fatalf("retry hook fired %d times, want 3", hooks.Load())
+	}
+}

@@ -53,6 +53,7 @@ type Message struct {
 	Body    []byte // gob-encoded payload
 	Pad     int    // modeled payload bytes not materialized in Body
 	Err     string // non-empty on error responses
+	Idem    bool   // request may be retried; receiver must dedup by (From, ID)
 }
 
 // wireSize estimates the on-the-wire size of m for transports that model
@@ -129,10 +130,16 @@ type Station struct {
 	nextID   uint64
 	closed   bool
 	started  bool
+	policy   Policy
+
+	// Idempotency table for retried requests (see Policy).
+	dedup      map[dedupKey]*dedupEntry
+	dedupOrder []dedupKey
 
 	stats       Stats
 	metrics     *stationMetrics                  // nil unless SetMetrics was called
 	timeoutHook func(to, service, method string) // nil unless SetTimeoutHook was called
+	retryHook   func(to, service, method string) // nil unless SetRetryHook was called
 }
 
 // NewStation wraps an endpoint.  Call Register for each service, then
@@ -219,11 +226,32 @@ func (st *Station) dispatch(p sched.Proc) {
 		}
 		switch msg.Kind {
 		case KindRequest, KindOneWay:
-			st.stats.served.Add(1)
 			st.stats.bytesIn.Add(int64(msg.wireSize()))
 			if m := st.metrics; m != nil {
-				m.served.Inc()
 				m.bytesIn.Add(int64(msg.wireSize()))
+			}
+			if msg.Kind == KindRequest && msg.Idem {
+				if cached, dup := st.dedupCheck(msg); dup {
+					st.stats.dups.Add(1)
+					if m := st.metrics; m != nil {
+						m.dups.Inc()
+					}
+					if cached != nil {
+						// The handler already ran; re-send its response
+						// instead of executing a second time.
+						st.stats.bytesOut.Add(int64(cached.wireSize()))
+						if m := st.metrics; m != nil {
+							m.bytesOut.Add(int64(cached.wireSize()))
+						}
+						_ = st.ep.Send(p, cached.To, cached)
+					}
+					// In-flight duplicate: the original execution answers.
+					continue
+				}
+			}
+			st.stats.served.Add(1)
+			if m := st.metrics; m != nil {
+				m.served.Inc()
 			}
 			st.serve(msg)
 		case KindResponse:
@@ -276,6 +304,9 @@ func (st *Station) serve(msg *Message) {
 		if err != nil {
 			resp.Err = err.Error()
 		}
+		if msg.Idem {
+			st.dedupStore(msg, resp)
+		}
 		st.stats.bytesOut.Add(int64(resp.wireSize()))
 		if m := st.metrics; m != nil {
 			m.bytesOut.Add(int64(resp.wireSize()))
@@ -294,12 +325,19 @@ func (st *Station) Call(p sched.Proc, to, service, method string, body []byte, t
 
 // CallPadded is Call with pad extra modeled payload bytes (see
 // Message.Pad).
+//
+// The station's Policy governs retries: each attempt re-sends the same
+// request (same ID, marked idempotent so the receiver dedups) and waits
+// AttemptTimeout; between attempts the backoff window keeps listening,
+// so a merely slow response still completes the call.  The caller's
+// timeout is the overall budget.
 func (st *Station) CallPadded(p sched.Proc, to, service, method string, body []byte, pad int, timeout time.Duration) ([]byte, error) {
 	st.mu.Lock()
 	if st.closed {
 		st.mu.Unlock()
 		return nil, ErrClosed
 	}
+	pol := st.policy
 	st.nextID++
 	id := st.nextID
 	reply := st.s.NewQueue(fmt.Sprintf("reply:%s:%d", st.Node(), id))
@@ -315,27 +353,51 @@ func (st *Station) CallPadded(p sched.Proc, to, service, method string, body []b
 		Method:  method,
 		Body:    body,
 		Pad:     pad,
+		Idem:    pol.Retries > 0,
 	}
 	st.stats.calls.Add(1)
-	st.stats.bytesOut.Add(int64(msg.wireSize()))
 	begin := st.s.Now()
 	if m := st.metrics; m != nil {
 		m.calls.Inc()
-		m.bytesOut.Add(int64(msg.wireSize()))
-		m.link(to).bytes.Observe(int64(msg.wireSize()))
-	}
-	if err := st.ep.Send(p, to, msg); err != nil {
-		st.mu.Lock()
-		delete(st.pending, id)
-		st.mu.Unlock()
-		return nil, err
 	}
 
-	v, ok := p.RecvTimeout(reply, timeout)
-	if !ok {
+	attempts := pol.Retries + 1
+	per := timeout
+	if pol.AttemptTimeout > 0 && pol.AttemptTimeout < per {
+		per = pol.AttemptTimeout
+	}
+	backoff := pol.Backoff
+	if backoff <= 0 {
+		backoff = 2 * time.Millisecond
+	}
+	deadline := begin + timeout
+
+	var v any
+	var ok bool
+	for attempt := 0; attempt < attempts; attempt++ {
+		st.stats.bytesOut.Add(int64(msg.wireSize()))
+		if m := st.metrics; m != nil {
+			m.bytesOut.Add(int64(msg.wireSize()))
+			m.link(to).bytes.Observe(int64(msg.wireSize()))
+		}
+		if err := st.ep.Send(p, to, msg); err != nil {
+			st.mu.Lock()
+			delete(st.pending, id)
+			st.mu.Unlock()
+			return nil, err
+		}
+		wait := per
+		if rem := deadline - st.s.Now(); rem < wait {
+			wait = rem
+		}
+		v, ok = p.RecvTimeout(reply, wait)
+		if ok {
+			break
+		}
+		// Attempt timed out.  A closed station cleared the pending entry;
+		// report that instead of a timeout.
 		st.mu.Lock()
 		_, stillPending := st.pending[id]
-		delete(st.pending, id)
 		closed := st.closed
 		st.mu.Unlock()
 		if closed && !stillPending {
@@ -344,6 +406,40 @@ func (st *Station) CallPadded(p sched.Proc, to, service, method string, body []b
 		st.stats.timeouts.Add(1)
 		if m := st.metrics; m != nil {
 			m.timeouts.Inc()
+		}
+		if attempt == attempts-1 || st.s.Now() >= deadline {
+			break
+		}
+		// Back off, still listening: the response may just be slow.
+		wait = backoff
+		if rem := deadline - st.s.Now(); rem < wait {
+			wait = rem
+		}
+		if wait > 0 {
+			if v, ok = p.RecvTimeout(reply, wait); ok {
+				break
+			}
+		}
+		if st.s.Now() >= deadline {
+			break
+		}
+		st.stats.retries.Add(1)
+		if m := st.metrics; m != nil {
+			m.retries.Inc()
+		}
+		if hook := st.retryHook; hook != nil {
+			hook(to, service, method)
+		}
+		backoff = pol.next(backoff)
+	}
+	if !ok {
+		st.mu.Lock()
+		_, stillPending := st.pending[id]
+		delete(st.pending, id)
+		closed := st.closed
+		st.mu.Unlock()
+		if closed && !stillPending {
+			return nil, ErrClosed
 		}
 		if hook := st.timeoutHook; hook != nil {
 			hook(to, service, method)

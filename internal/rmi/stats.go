@@ -8,7 +8,9 @@ type Stats struct {
 	calls    atomic.Int64 // synchronous/async requests sent
 	oneway   atomic.Int64 // one-way messages sent
 	served   atomic.Int64 // requests served (incl. one-way)
-	timeouts atomic.Int64 // calls that timed out
+	timeouts atomic.Int64 // call attempts that timed out
+	retries  atomic.Int64 // request re-sends under a retry policy
+	dups     atomic.Int64 // duplicate idempotent requests suppressed
 	stale    atomic.Int64 // responses that arrived after their call gave up
 	bytesOut atomic.Int64
 	bytesIn  atomic.Int64
@@ -19,7 +21,9 @@ type StatsSnapshot struct {
 	CallsSent  int64 // requests sent expecting a response
 	OneWaySent int64 // one-way messages sent
 	Served     int64 // inbound requests dispatched to handlers
-	Timeouts   int64 // calls abandoned on timeout
+	Timeouts   int64 // call attempts abandoned on timeout
+	Retries    int64 // request re-sends under a retry policy
+	Dups       int64 // duplicate idempotent requests suppressed
 	Stale      int64 // late responses dropped
 	BytesOut   int64 // estimated bytes transmitted
 	BytesIn    int64 // estimated bytes received
@@ -31,6 +35,8 @@ func (s *Stats) snapshot() StatsSnapshot {
 		OneWaySent: s.oneway.Load(),
 		Served:     s.served.Load(),
 		Timeouts:   s.timeouts.Load(),
+		Retries:    s.retries.Load(),
+		Dups:       s.dups.Load(),
 		Stale:      s.stale.Load(),
 		BytesOut:   s.bytesOut.Load(),
 		BytesIn:    s.bytesIn.Load(),
@@ -43,6 +49,8 @@ func (s StatsSnapshot) Add(o StatsSnapshot) StatsSnapshot {
 	s.OneWaySent += o.OneWaySent
 	s.Served += o.Served
 	s.Timeouts += o.Timeouts
+	s.Retries += o.Retries
+	s.Dups += o.Dups
 	s.Stale += o.Stale
 	s.BytesOut += o.BytesOut
 	s.BytesIn += o.BytesIn

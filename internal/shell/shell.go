@@ -14,6 +14,7 @@ import (
 	"strings"
 	"time"
 
+	"jsymphony/internal/chaos"
 	"jsymphony/internal/core"
 	"jsymphony/internal/metrics"
 	"jsymphony/internal/params"
@@ -106,6 +107,8 @@ func (s *Shell) Exec(p sched.Proc, line string) (string, error) {
 			return "", fmt.Errorf("usage: %s <node>", cmd)
 		}
 		return s.failure(cmd, args[0])
+	case "chaos":
+		return s.chaos(args)
 	}
 	return "", fmt.Errorf("unknown command %q (try help)", cmd)
 }
@@ -126,6 +129,9 @@ const helpText = `JS-Shell commands:
   constraints show|clear        manage JS-Shell default constraints
   constraints set <param> <op> <value>
   kill <node> / revive <node>   inject node failures (simulation only)
+  chaos plan                    show the installed fault-injection plan
+  chaos status                  active faults and injection counters
+  chaos inject <fault>          inject one fault now, e.g. "loss:a/b:0.05"
   help                          this text`
 
 func (s *Shell) nodes() string {
@@ -359,6 +365,52 @@ func (s *Shell) constraints(args []string) (string, error) {
 		return fmt.Sprintf("default constraints now: %s\n", cs), nil
 	}
 	return "", fmt.Errorf("usage: constraints show|clear|set <param> <op> <value>")
+}
+
+// chaos drives the deterministic fault-injection subsystem: "chaos
+// plan" shows the installed schedule, "chaos status" the currently
+// active faults, and "chaos inject <fault>" applies one fault spec
+// (same DSL as chaos.ParseFault) immediately.
+func (s *Shell) chaos(args []string) (string, error) {
+	if len(args) == 0 {
+		return "", fmt.Errorf("usage: chaos plan|status|inject <fault>")
+	}
+	switch args[0] {
+	case "plan":
+		inj := s.w.Chaos()
+		if inj == nil {
+			return "(no chaos installed)\n", nil
+		}
+		return inj.Plan(), nil
+	case "status":
+		inj := s.w.Chaos()
+		if inj == nil {
+			return "(no chaos installed)\n", nil
+		}
+		return inj.Status(), nil
+	case "inject":
+		if len(args) != 2 {
+			return "", fmt.Errorf("usage: chaos inject <fault>  (e.g. crash:node03 or loss:a/b:0.05)")
+		}
+		f, err := chaos.ParseFault(args[1])
+		if err != nil {
+			return "", err
+		}
+		inj := s.w.Chaos()
+		if inj == nil {
+			// Operator-driven injection on an installation that was not
+			// started with a chaos plan: install an empty one on demand.
+			inj, err = s.w.InstallChaos(&chaos.Spec{}, 1)
+			if err != nil {
+				return "", err
+			}
+		}
+		if err := inj.Inject(f); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("injected: %s\n", f.String()), nil
+	}
+	return "", fmt.Errorf("usage: chaos plan|status|inject <fault>")
 }
 
 func (s *Shell) failure(cmd, node string) (string, error) {

@@ -174,9 +174,46 @@ func TestShellCommands(t *testing.T) {
 			t.Errorf("revive: %v %s", err, out)
 		}
 
+		// Chaos: plan/status before anything is installed, operator
+		// injection (auto-installs an empty-plan injector), and status
+		// reflecting the active fault.
+		if out, _ := sh.Exec(p, "chaos plan"); !strings.Contains(out, "no chaos installed") {
+			t.Errorf("chaos plan before install: %s", out)
+		}
+		if out, _ := sh.Exec(p, "chaos status"); !strings.Contains(out, "no chaos installed") {
+			t.Errorf("chaos status before install: %s", out)
+		}
+		if _, err := sh.Exec(p, "chaos inject explode:clara"); err == nil {
+			t.Error("bad fault accepted")
+		}
+		out, err = sh.Exec(p, "chaos inject loss:milena/rachel:0.05")
+		if err != nil || !strings.Contains(out, "injected: loss milena/rachel 5.0%") {
+			t.Errorf("chaos inject: %v %s", err, out)
+		}
+		if w.Chaos() == nil {
+			t.Error("inject did not auto-install an injector")
+		}
+		out, err = sh.Exec(p, "chaos status")
+		if err != nil || !strings.Contains(out, "faults applied: 1") ||
+			!strings.Contains(out, "milena/rachel") {
+			t.Errorf("chaos status: %v\n%s", err, out)
+		}
+		if out, err = sh.Exec(p, "chaos plan"); err != nil || !strings.Contains(out, "empty chaos plan") {
+			t.Errorf("chaos plan after auto-install: %v %s", err, out)
+		}
+		if _, err := sh.Exec(p, "chaos"); err == nil {
+			t.Error("bare chaos accepted")
+		}
+		if _, err := sh.Exec(p, "chaos frob"); err == nil {
+			t.Error("unknown chaos subcommand accepted")
+		}
+
 		// Misc.
 		if out, _ := sh.Exec(p, "help"); !strings.Contains(out, "automigrate") {
 			t.Error("help incomplete")
+		}
+		if out, _ := sh.Exec(p, "help"); !strings.Contains(out, "chaos inject") {
+			t.Error("help missing chaos commands")
 		}
 		if out, err := sh.Exec(p, ""); err != nil || out != "" {
 			t.Error("empty line not a no-op")

@@ -17,6 +17,27 @@ type Fabric struct {
 	specs   []MachineSpec
 	byName  map[string]*Machine
 	all     []*Machine
+
+	// Wire-fault state, installed by the chaos layer.  Draws come from a
+	// counter-hash chain over the fabric seed: because actors run one at a
+	// time under the virtual clock's run token, the i-th send of a run is
+	// always the same message, so the fate of every message is a pure
+	// function of (topology, workload, seed).
+	chaosMu    sync.Mutex
+	partitions map[[2]string]bool
+	linkPol    map[[2]string]LinkPolicy
+	chaosCtr   uint64
+	reg        *metrics.Registry // for wire-fault counters; set by Instrument
+}
+
+// LinkPolicy describes wire-level faults on a link: each message is
+// dropped with probability Loss, delivered twice with probability Dup,
+// and delayed by a uniform extra 0..Reorder (which reorders it relative
+// to later traffic).  The zero value is a healthy link.
+type LinkPolicy struct {
+	Loss    float64
+	Dup     float64
+	Reorder time.Duration
 }
 
 // Instrument points every machine at a metrics registry: each Snapshot
@@ -26,6 +47,9 @@ func (f *Fabric) Instrument(reg *metrics.Registry) {
 	if reg == nil {
 		return
 	}
+	f.chaosMu.Lock()
+	f.reg = reg
+	f.chaosMu.Unlock()
 	for _, m := range f.all {
 		m.mu.Lock()
 		m.utilGauge = reg.Gauge(metrics.Label("js_simnet_util", "node", m.spec.Name))
@@ -43,6 +67,9 @@ func New(c *vclock.Clock, specs []MachineSpec, profile LoadProfile, seed int64) 
 		seed:    seed,
 		specs:   append([]MachineSpec(nil), specs...),
 		byName:  make(map[string]*Machine, len(specs)),
+
+		partitions: make(map[[2]string]bool),
+		linkPol:    make(map[[2]string]LinkPolicy),
 	}
 	for i, spec := range f.specs {
 		m := &Machine{
@@ -110,6 +137,95 @@ func (f *Fabric) Bandwidth(src, dst *Machine) float64 {
 		mbps = WANMbps
 	}
 	return mbps * 1e6
+}
+
+// pairKey normalizes an unordered endpoint pair for the partition and
+// link-policy maps.
+func pairKey(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// SetPartitioned cuts (on) or heals (off) the link between a and b, in
+// both directions.  Partitioned messages vanish silently — to the stack
+// above, the peer just stops answering.
+func (f *Fabric) SetPartitioned(a, b string, on bool) {
+	f.chaosMu.Lock()
+	defer f.chaosMu.Unlock()
+	if on {
+		f.partitions[pairKey(a, b)] = true
+	} else {
+		delete(f.partitions, pairKey(a, b))
+	}
+}
+
+// Partitioned reports whether the a–b link is currently cut.
+func (f *Fabric) Partitioned(a, b string) bool {
+	f.chaosMu.Lock()
+	defer f.chaosMu.Unlock()
+	return f.partitions[pairKey(a, b)]
+}
+
+// SetLinkPolicy installs wire faults on the a–b link; ("*", "*") sets
+// the default policy for links with no specific one (a specific policy
+// fully overrides the default, it does not merge).  A zero LinkPolicy
+// restores the link.
+func (f *Fabric) SetLinkPolicy(a, b string, pol LinkPolicy) {
+	f.chaosMu.Lock()
+	defer f.chaosMu.Unlock()
+	key := pairKey(a, b)
+	if pol == (LinkPolicy{}) {
+		delete(f.linkPol, key)
+		return
+	}
+	f.linkPol[key] = pol
+}
+
+// draw returns the next deterministic pseudo-random unit value of the
+// fabric's wire-fault chain.  Caller holds chaosMu.
+func (f *Fabric) draw() float64 {
+	f.chaosCtr++
+	return unit(splitmix64(uint64(f.seed) + f.chaosCtr*0x9e3779b97f4a7c15))
+}
+
+// wireCounter bumps a js_simnet_* wire-fault counter.  Caller holds
+// chaosMu.
+func (f *Fabric) wireCounter(name, src string) {
+	if f.reg != nil {
+		f.reg.Counter(metrics.Label(name, "node", src)).Inc()
+	}
+}
+
+// linkFate decides what the chaos layer does to one message from src to
+// dst: drop it, duplicate it, and/or delay it by jitter.
+func (f *Fabric) linkFate(src, dst string) (drop, dup bool, jitter time.Duration) {
+	f.chaosMu.Lock()
+	defer f.chaosMu.Unlock()
+	if len(f.partitions) > 0 && f.partitions[pairKey(src, dst)] {
+		f.wireCounter("js_simnet_wire_drops_total", src)
+		return true, false, 0
+	}
+	pol, ok := f.linkPol[pairKey(src, dst)]
+	if !ok {
+		pol, ok = f.linkPol[[2]string{"*", "*"}]
+	}
+	if !ok {
+		return false, false, 0
+	}
+	if pol.Loss > 0 && f.draw() < pol.Loss {
+		f.wireCounter("js_simnet_wire_drops_total", src)
+		return true, false, 0
+	}
+	if pol.Dup > 0 && f.draw() < pol.Dup {
+		f.wireCounter("js_simnet_wire_dups_total", src)
+		dup = true
+	}
+	if pol.Reorder > 0 {
+		jitter = time.Duration(f.draw() * float64(pol.Reorder))
+	}
+	return false, dup, jitter
 }
 
 // Machine is one simulated workstation.
@@ -231,6 +347,16 @@ func (m *Machine) Send(dst *Machine, bytes int, v any) {
 		return
 	}
 	delay := time.Duration(start-now) + tx + lat
+	if m != dst { // loopback is exempt from wire faults
+		drop, dup, jitter := m.fab.linkFate(m.spec.Name, dst.spec.Name)
+		if drop {
+			return
+		}
+		delay += jitter
+		if dup {
+			dst.inbox.Put(v, delay+lat)
+		}
+	}
 	dst.inbox.Put(v, delay)
 }
 

@@ -28,12 +28,19 @@ const (
 	ObjRecovered    Kind = "obj.recovered"
 	CodebaseLoaded  Kind = "codebase.loaded"
 	NodeFailed      Kind = "node.failed"
+	NodeRecovered   Kind = "node.recovered"
 	ManagerChanged  Kind = "manager.changed"
+
+	// Fault-injection kinds: the chaos layer records every fault it
+	// applies (ChaosFault) and every revert/heal (ChaosHeal).
+	ChaosFault Kind = "chaos.fault"
+	ChaosHeal  Kind = "chaos.heal"
 
 	// Invocation-level kinds: the shell's event log covers calls, not
 	// just lifecycle.
 	ObjInvoked          Kind = "obj.invoked"
 	CallTimeout         Kind = "call.timeout"
+	CallRetry           Kind = "call.retry"
 	AutoMigrateDecision Kind = "automigrate.decision"
 )
 

@@ -68,6 +68,14 @@ func (m *Matrix) Init(ctx *jsymphony.Ctx, dimN, dimB2 int, b []float32, model bo
 	m.mu.Unlock()
 }
 
+// Ready reports whether B has been replicated onto this node — the
+// master's barrier probe after the one-sided copy.
+func (m *Matrix) Ready() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.DimN > 0 && len(m.B) == m.DimN*m.DimB2
+}
+
 // snapshot waits for Init to land (a one-sided init races the first
 // task: method executions are concurrent, so Multiply tolerates arriving
 // first) and returns the replicated operands.
@@ -180,14 +188,8 @@ func Run(js *jsymphony.JS, cfg Config) (Stats, error) {
 	cb.Free()
 
 	// Initialize A, B (the master owns them) and replicate B.
-	rng := rand.New(rand.NewSource(cfg.Seed + 1))
 	n := cfg.N
-	A := make([]float32, n*n)
-	B := make([]float32, n*n)
-	for i := range A {
-		A[i] = rng.Float32()
-		B[i] = rng.Float32()
-	}
+	A, B := Operands(cfg)
 
 	start := js.Now()
 	nodes := cluster.NrNodes()
@@ -204,6 +206,39 @@ func Run(js *jsymphony.JS, cfg Config) (Stats, error) {
 		// Copy matrix B to all cluster nodes, one-sided (Fig. 6).
 		if err := slaves[i].OInvoke("Init", n, n, B, cfg.Model); err != nil {
 			return Stats{}, err
+		}
+	}
+
+	// Replication barrier: the one-sided copy of B is fire-and-forget,
+	// so a lossy link (fault injection) can silently eat it, and every
+	// Multiply on that slave would stall waiting for operands.  Probe
+	// each slave with a cheap synchronous call — retried and deduped
+	// under faults — and replicate again, synchronously this time, if B
+	// never arrived.  Patience scales with the total transfer so slow
+	// links are not mistaken for loss.
+	patience := 2*time.Second + time.Duration(len(B)*4*nodes)*time.Second/1_000_000
+	for i := 0; i < nodes; i++ {
+		deadline := js.Now() + patience
+		resent := false
+		for {
+			ok, err := slaves[i].SInvoke("Ready")
+			if err != nil {
+				return Stats{}, err
+			}
+			if ok.(bool) {
+				break
+			}
+			if js.Now() >= deadline {
+				if resent {
+					return Stats{}, errors.New("matmul: B replication never completed")
+				}
+				if _, err := slaves[i].SInvoke("Init", n, n, B, cfg.Model); err != nil {
+					return Stats{}, err
+				}
+				resent = true
+				deadline = js.Now() + patience
+			}
+			js.Sleep(25 * time.Millisecond)
 		}
 	}
 
@@ -296,13 +331,7 @@ func RunSequential(js *jsymphony.JS, cfg Config) (Stats, error) {
 		return Stats{}, errors.New("matmul: N must be positive")
 	}
 	n := cfg.N
-	rng := rand.New(rand.NewSource(cfg.Seed + 1))
-	A := make([]float32, n*n)
-	B := make([]float32, n*n)
-	for i := range A {
-		A[i] = rng.Float32()
-		B[i] = rng.Float32()
-	}
+	A, B := Operands(cfg)
 	start := js.Now()
 	js.Compute(2 * float64(n) * float64(n) * float64(n))
 	var C []float32
@@ -310,6 +339,21 @@ func RunSequential(js *jsymphony.JS, cfg Config) (Stats, error) {
 		C = Multiply(A, B, n)
 	}
 	return Stats{Elapsed: js.Now() - start, Tasks: 1, Nodes: 1, C: C}, nil
+}
+
+// Operands returns the run's input matrices A and B, a pure function of
+// cfg.Seed and cfg.N.  External verifiers (chaos tests, the recovery
+// experiment) regenerate them to check a run's product independently.
+func Operands(cfg Config) (A, B []float32) {
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	n := cfg.N
+	A = make([]float32, n*n)
+	B = make([]float32, n*n)
+	for i := range A {
+		A[i] = rng.Float32()
+		B[i] = rng.Float32()
+	}
+	return A, B
 }
 
 // Multiply is the reference sequential product, used for verification.
