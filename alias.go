@@ -25,6 +25,7 @@ import (
 	"jsymphony/internal/core"
 	"jsymphony/internal/nas"
 	"jsymphony/internal/params"
+	"jsymphony/internal/replica"
 	"jsymphony/internal/rmi"
 	"jsymphony/internal/simnet"
 	"jsymphony/internal/virtarch"
@@ -118,6 +119,30 @@ type (
 	// RMIPolicy configures sync-call retry/timeout/backoff; the zero
 	// value is the historical single-attempt behavior.
 	RMIPolicy = rmi.Policy
+)
+
+// Object replication (forward extension of the paper's OAS; see
+// internal/replica and DESIGN.md §8).
+type (
+	// ReplicaPolicy declares how an object is replicated: how many read
+	// replicas, which methods are read-only, and how writes propagate.
+	ReplicaPolicy = replica.Policy
+	// ReplicaMode selects the write-propagation protocol.
+	ReplicaMode = replica.Mode
+	// ReplicaSet is one object's materialized set (primary + replicas).
+	ReplicaSet = replica.Set
+	// ReplicaSetInfo pairs an object handle with its set.
+	ReplicaSetInfo = core.ReplicaSetInfo
+)
+
+// Replication modes.
+const (
+	// ReplicaStrong propagates writes synchronously and serves replica
+	// reads under a lease: reads never observe stale state.
+	ReplicaStrong = replica.Strong
+	// ReplicaEventual propagates writes asynchronously; replica reads
+	// may be stale, and report their staleness in invocation spans.
+	ReplicaEventual = replica.Eventual
 )
 
 // Fault injection (chaos) re-exports: deterministic, seeded faults on

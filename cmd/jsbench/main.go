@@ -23,12 +23,13 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "fig5", "experiment to run (fig5, mandel, automigrate, recovery)")
+	experiment := flag.String("experiment", "fig5", "experiment to run (fig5, mandel, automigrate, recovery, replica)")
 	sizes := flag.String("sizes", "200,400,600,800", "comma-separated problem sizes")
 	maxNodes := flag.Int("maxnodes", 13, "sweep node counts 1..maxnodes")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	metricsOut := flag.String("metricsout", "", "write per-run metrics snapshots to this JSON file (fig5 only)")
 	chaosPlan := flag.String("chaos", "", `fault-injection plan for fig5, e.g. "loss:*:0.02" or "crashes:20s+5s"`)
+	out := flag.String("out", "", "write the experiment result as JSON to this file (replica only)")
 	flag.Parse()
 
 	switch *experiment {
@@ -40,6 +41,8 @@ func main() {
 		runE3(*seed)
 	case "recovery":
 		runRecovery(*seed)
+	case "replica":
+		runReplica(*seed, *out)
 	default:
 		fmt.Fprintf(os.Stderr, "jsbench: unknown experiment %q\n", *experiment)
 		os.Exit(2)
@@ -55,6 +58,37 @@ func runRecovery(seed int64) {
 	experiments.WriteRecovery(os.Stdout, cfg, r)
 	if !r.Correct {
 		fmt.Fprintln(os.Stderr, "jsbench: recovered run produced a WRONG product")
+		os.Exit(1)
+	}
+}
+
+func runReplica(seed int64, out string) {
+	fmt.Println("Replica — locality-aware read replication (internal/replica)")
+	fmt.Println("(read throughput by replica count; strong-mode crash availability)")
+	fmt.Println()
+	cfg := experiments.ReplicaConfig{Seed: seed}
+	res := experiments.Replica(cfg)
+	experiments.WriteReplica(os.Stdout, res)
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jsbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := experiments.WriteReplicaJSON(f, res); err != nil {
+			fmt.Fprintf(os.Stderr, "jsbench: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("result written to %s\n", out)
+	}
+	fmt.Println()
+	lines, ok := experiments.ReplicaReport(res)
+	fmt.Println("Subsystem claims:")
+	for _, l := range lines {
+		fmt.Println("  " + l)
+	}
+	if !ok {
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,188 @@
+// Chaos-matrix extension for the replication subsystem: the exact
+// master/slave matmul runs while a strong-mode replicated kv.Store
+// absorbs a steady write stream, and the injector kills or partitions
+// the store's primary mid-stream.  Two properties must hold at once:
+//
+//   - the matmul product stays element-exact (the fault didn't corrupt
+//     unrelated traffic), and
+//   - strong mode loses no acknowledged write: every increment the
+//     writer got an ack for is in the final counter value.  Timeout
+//     re-invocation at the core layer is at-least-once, so a write that
+//     executed but lost its ack to the fault may run again — the final
+//     value may exceed the acked count, but must never fall short.
+package chaos_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"jsymphony"
+	"jsymphony/internal/trace"
+	"jsymphony/workloads/kv"
+	"jsymphony/workloads/matmul"
+)
+
+// writerReport is what the spawned write stream hands back to the main
+// session once it has pushed every increment through the fault window.
+type writerReport struct {
+	acked int
+	err   error
+}
+
+// TestChaosMatmulWithReplicatedStore is the matmul x replica x fault
+// matrix of the chaos harness, one row per fault shape, for every seed.
+func TestChaosMatmulWithReplicatedStore(t *testing.T) {
+	scenarios := []struct {
+		name string
+		plan string
+		pin  string // node hosting the store's primary copy
+		// wantPromotion: the fault must be survived by promoting a
+		// replica (js_replica_promotions_total) — not by re-creating
+		// the object from a checkpoint.
+		wantPromotion bool
+		// exact: the fault cannot orphan an executed-but-unacked write
+		// (messages vanish before delivery, never after), so the final
+		// value must equal the acked count exactly.
+		exact bool
+	}{
+		// The store's primary host dies outright.  The freshest replica
+		// is promoted under the same handle and the stream continues; a
+		// write can execute and propagate just before the crash eats its
+		// ack, so final >= acked is the strongest valid claim.
+		{name: "crash", plan: "crash:node01@1.2s", pin: "node01", wantPromotion: true},
+		// The writer's node (node00) is cut off from the primary for
+		// longer than FailTimeout: a false death.  The directory declares
+		// node02 dead and promotes a replica the writer can still reach.
+		{name: "partition", plan: "partition:node00/node02@900ms+1.5s", pin: "node02", wantPromotion: true},
+		// 5% of all messages vanish.  The rmi layer's idempotent retries
+		// plus receiver-side dedup make every write exactly-once, so the
+		// final value matches the acked count to the increment.
+		{name: "loss", plan: "loss:*:0.05@900ms", pin: "node01", exact: true},
+	}
+
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			for _, seed := range harnessSeeds(t) {
+				spec, err := jsymphony.ParseChaos(sc.plan)
+				if err != nil {
+					t.Fatalf("seed %d: parse %q: %v", seed, sc.plan, err)
+				}
+				cfg := matmul.Config{N: 384, Nodes: 4, Seed: seed}
+				A, B := matmul.Operands(cfg)
+				want := matmul.Multiply(A, B, cfg.N)
+
+				env := chaosEnv(t, spec, seed)
+				var st matmul.Stats
+				var merr error
+				var rep writerReport
+				final := -1
+				env.RunMain("", func(js *jsymphony.JS) {
+					js.EnableRecovery(150 * time.Millisecond)
+
+					cb := js.NewCodebase()
+					if err := cb.Add(kv.StoreClass); err != nil {
+						t.Errorf("seed %d: add class: %v", seed, err)
+						return
+					}
+					if err := cb.LoadNodes(env.Nodes()...); err != nil {
+						t.Errorf("seed %d: load codebase: %v", seed, err)
+						return
+					}
+					home, err := js.NewNamedNode(sc.pin)
+					if err != nil {
+						t.Errorf("seed %d: pin node: %v", seed, err)
+						return
+					}
+					store, err := js.NewObject(kv.StoreClass, home, nil)
+					if err != nil {
+						t.Errorf("seed %d: new store: %v", seed, err)
+						return
+					}
+					if _, err := store.SInvoke("Init", 0.0); err != nil {
+						t.Errorf("seed %d: init store: %v", seed, err)
+						return
+					}
+					if err := store.Replicate(jsymphony.ReplicaPolicy{
+						N: 2, Mode: jsymphony.ReplicaStrong, Reads: kv.ReadMethods(),
+					}); err != nil {
+						t.Errorf("seed %d: replicate: %v", seed, err)
+						return
+					}
+
+					// The write stream: 30 increments at 60ms intervals
+					// span roughly t=0.5s..2.5s of virtual time, straddling
+					// every fault window above.
+					done := make(chan writerReport, 1)
+					js.Spawn("kv-writer", func(w *jsymphony.JS) {
+						s := store.With(w)
+						var r writerReport
+						for i := 0; i < 30; i++ {
+							w.Sleep(60 * time.Millisecond)
+							if _, err := s.SInvoke("Add", "hot", 1); err != nil {
+								r.err = fmt.Errorf("write %d: %w", i, err)
+								break
+							}
+							r.acked++
+						}
+						done <- r
+					})
+
+					st, merr = matmul.Run(js, cfg)
+
+					for len(done) == 0 {
+						js.Sleep(20 * time.Millisecond)
+					}
+					rep = <-done
+
+					got, err := store.SInvoke("Get", "hot")
+					if err != nil {
+						t.Errorf("seed %d: final read: %v", seed, err)
+						return
+					}
+					final = got.(int)
+				})
+
+				// The concurrent matmul must still be element-exact.
+				if merr != nil {
+					t.Fatalf("seed %d: matmul under %s: %v", seed, sc.plan, merr)
+				}
+				if len(st.C) != cfg.N*cfg.N {
+					t.Fatalf("seed %d: product has %d elements, want %d", seed, len(st.C), cfg.N*cfg.N)
+				}
+				for i := range want {
+					if st.C[i] != want[i] {
+						t.Fatalf("seed %d: C[%d] = %v, want %v — corrupted under %s",
+							seed, i, st.C[i], want[i], sc.plan)
+					}
+				}
+
+				// Strong mode loses no acked writes.
+				if rep.err != nil {
+					t.Errorf("seed %d: writer failed under %s: %v", seed, sc.plan, rep.err)
+				}
+				if rep.acked != 30 {
+					t.Errorf("seed %d: writer acked %d of 30 increments", seed, rep.acked)
+				}
+				if final < rep.acked {
+					t.Errorf("seed %d: %s: LOST WRITES — acked %d but final value %d",
+						seed, sc.name, rep.acked, final)
+				}
+				if sc.exact && final != rep.acked {
+					t.Errorf("seed %d: %s: final %d != acked %d (exactly-once violated)",
+						seed, sc.name, final, rep.acked)
+				}
+
+				tr := env.World().Trace()
+				if len(tr.Filter(trace.ChaosFault)) == 0 {
+					t.Errorf("seed %d: no ChaosFault traced for %s", seed, sc.plan)
+				}
+				promotions := env.World().Metrics().Counter("js_replica_promotions_total").Value()
+				if sc.wantPromotion && promotions == 0 {
+					t.Errorf("seed %d: %s: fault on the primary but no replica promotion", seed, sc.name)
+				}
+			}
+		})
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"jsymphony/internal/nas"
 	"jsymphony/internal/params"
+	"jsymphony/internal/replica"
 	"jsymphony/internal/rmi"
 	"jsymphony/internal/sched"
 	"jsymphony/internal/trace"
@@ -34,6 +35,7 @@ type App struct {
 	ckptPeriod time.Duration
 	ckptGen    int
 	recovering map[string]bool // dead nodes with a recovery pass in flight
+	authOn     bool            // write-authority renewal proc started
 }
 
 // objEntry is one local-objects-table row.
@@ -43,6 +45,30 @@ type objEntry struct {
 	comp     virtarch.Component  // placement target (may be nil)
 	constr   *params.Constraints // creation constraints (may be nil)
 	freed    bool
+	pol      *replica.Policy // non-nil once Replicate was applied
+	replicas []string        // current read-replica nodes, sorted
+
+	// Write-authority bookkeeping (see replica_app.go).  authHorizon is
+	// the expiry of the latest authority grant that might have reached
+	// the primary (set before each grant is sent, so it is conservative
+	// even when the grant's outcome is unknown); promoting pauses grants
+	// while a survivor election fences the old primary against it.
+	authHorizon time.Duration
+	promoting   bool
+}
+
+// rset builds the entry's advertised replica set.  Caller holds a.mu.
+func (e *objEntry) rset() replica.Set {
+	if e.pol == nil || len(e.replicas) == 0 {
+		return replica.Set{}
+	}
+	return replica.Set{
+		Primary:  e.location,
+		Replicas: append([]string(nil), e.replicas...),
+		Mode:     e.pol.Mode,
+		Lease:    e.pol.Lease,
+		Reads:    e.pol.Reads,
+	}
 }
 
 // appVA tracks one activated virtual architecture.
@@ -141,6 +167,7 @@ func (a *App) handle(p sched.Proc, from, method string, body []byte) ([]byte, er
 		if ok && !e.freed {
 			resp.Node = e.location
 			resp.OK = true
+			resp.RSet = e.rset()
 		}
 		a.mu.Unlock()
 		return rmi.MustMarshal(resp), nil

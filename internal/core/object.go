@@ -223,6 +223,7 @@ func (a *App) invokeObject(p sched.Proc, id uint64, method string, args []any, k
 	sr := a.rt.beginSpan(0, kind, first.ref, method)
 	var lastErr error
 	var loc string
+	var avoid map[string]bool // replica members that deflected or timed out
 	deadline := p.Sched().Now() + invokeTimeout
 	backoff := 2 * time.Millisecond
 	for p.Sched().Now() < deadline {
@@ -231,21 +232,50 @@ func (a *App) invokeObject(p sched.Proc, id uint64, method string, args []any, k
 			sr.finish(loc, 0, err)
 			return nil, err
 		}
+		a.mu.Lock()
 		loc = e.location
+		set := e.rset()
+		a.mu.Unlock()
+		// A declared read on a replicated object routes to the nearest
+		// live set member; writes (and everything on unreplicated objects)
+		// target the primary location.
+		target := loc
+		read := !set.Empty() && set.IsRead(method)
+		if read {
+			if n, ok := a.world.routeRead(refKey(e.ref.App, e.ref.ID), a.rt.Node(), set, avoid); ok {
+				target = n
+			}
+		}
 		sr.beginAttempt()
-		res, service, err := a.rt.invokeAt(p, e.location, e.ref, method, args, sr.span.ID)
+		resp, err := a.rt.invokeAt(p, target, e.ref, method, args, sr.span.ID, read)
 		if err == nil {
-			sr.finish(loc, service, nil)
-			return res, nil
+			sr.span.Staleness = resp.Staleness
+			a.world.noteRead(read, resp)
+			sr.finish(target, resp.Service, nil)
+			return resp.Result, nil
 		}
 		lastErr = err
 		// Retryable: busy (migrating), moved (stale table entry — our own
-		// recovery updates it), and timed out (the host may have crashed;
+		// recovery updates it), stale (replica lost its primary; promotion
+		// repoints the set), and timed out (the host may have crashed;
 		// backing off lets detection and recovery repoint the entry).
 		if !rmi.IsRemote(err, errObjBusy) && !rmi.IsRemote(err, errObjMoved) &&
-			!errors.Is(err, rmi.ErrTimeout) {
-			sr.finish(loc, 0, err)
+			!rmi.IsRemote(err, errReplicaStale) && !errors.Is(err, rmi.ErrTimeout) {
+			sr.finish(target, 0, err)
 			return nil, err
+		}
+		if read && target != loc {
+			// Fail over to another set member right away; once the whole
+			// set has been tried, back off and start over against the
+			// (by then repaired) table entry.
+			if avoid == nil {
+				avoid = make(map[string]bool)
+			}
+			avoid[target] = true
+			if len(avoid) < len(set.Members()) {
+				continue
+			}
+			avoid = nil
 		}
 		p.Sleep(backoff)
 		if backoff < 50*time.Millisecond {
@@ -278,6 +308,7 @@ func (a *App) freeEntry(p sched.Proc, e *objEntry) error {
 	}
 	e.freed = true
 	a.mu.Unlock()
+	a.dropReplicas(p, e)
 	body := rmi.MustMarshal(freeReq{App: e.ref.App, ID: e.ref.ID})
 	_, err := a.rt.st.Call(p, e.location, PubService, "free", body, 10*time.Second)
 	return err
@@ -410,7 +441,13 @@ func (a *App) migrateEntry(p sched.Proc, e *objEntry, dest string) error {
 	// resolve through it.
 	a.mu.Lock()
 	e.location = dest
+	replicated := e.pol != nil && len(e.replicas) > 0
 	a.mu.Unlock()
+	if replicated {
+		// The new host starts with a fresh update counter; re-seed the set
+		// from it so replica versions restart in step with the primary.
+		a.reconfigureAfterMove(p, e)
+	}
 	a.world.emit(trace.Event{Kind: trace.ObjMigrated, Node: dest, App: ref.App, Obj: ref.ID, Detail: src + " -> " + dest})
 	a.world.reg.Counter("js_core_migrations_total").Inc()
 	a.world.reg.Histogram("js_core_migration_us", nil).ObserveDuration(watch.Elapsed())
@@ -463,7 +500,17 @@ func (a *App) Load(p sched.Proc, key string, comp virtarch.Component, constr *pa
 		a.mu.Lock()
 		a.objs[id] = &objEntry{ref: ref, location: node, comp: comp, constr: constr}
 		a.mu.Unlock()
-		return &Object{app: a, id: id}, nil
+		obj := &Object{app: a, id: id}
+		// A replicated object restores as a replicated object: silently
+		// degrading it to a single copy would change its availability
+		// story.  The object is usable even when re-materializing the set
+		// fails, so the handle is returned alongside the error.
+		if rec.Replica != nil {
+			if err := a.Replicate(p, id, *rec.Replica); err != nil {
+				return obj, fmt.Errorf("core: loaded %q but could not re-materialize its replica set: %w", key, err)
+			}
+		}
+		return obj, nil
 	}
 	return nil, fmt.Errorf("core: could not load %q anywhere: %w", key, lastErr)
 }

@@ -129,12 +129,35 @@ func (a *App) RecoverFrom(p sched.Proc, deadNode string) (recovered, lost []Ref)
 	sort.Slice(victims, func(i, j int) bool { return victims[i].ref.ID < victims[j].ref.ID })
 
 	for _, e := range victims {
+		// A replicated object promotes a surviving replica — availability
+		// restored from live state, no checkpoint round trip, no lost
+		// strong-mode writes.  Checkpoint restore is the fallback when the
+		// whole set died.
+		if a.promoteEntry(p, e, deadNode) {
+			recovered = append(recovered, e.ref)
+			continue
+		}
 		if a.recoverEntry(p, e, deadNode) {
+			a.mu.Lock()
+			replicated := e.pol != nil
+			a.mu.Unlock()
+			if replicated {
+				// The restored copy is a lone primary with a fresh update
+				// counter; rebuild its set from it.
+				a.mu.Lock()
+				e.replicas = nil
+				a.mu.Unlock()
+				_ = a.materializeReplicas(p, e, []string{deadNode})
+				a.publishRSet(p, e)
+			}
 			recovered = append(recovered, e.ref)
 		} else {
 			lost = append(lost, e.ref)
 		}
 	}
+	// Sets that lost a non-primary member to this node heal afterwards:
+	// promotion first (availability), repair second (durability margin).
+	a.repairReplicaSets(p, deadNode)
 	return recovered, lost
 }
 
@@ -197,7 +220,7 @@ func (a *App) liveCandidates(p sched.Proc, comp virtarch.Component, constr *para
 // trigger recovery when it is enabled.
 func (a *App) armRecovery(notify func(nas.Event)) func(nas.Event) {
 	return func(e nas.Event) {
-		if e.Kind == nas.EventNodeFailed && a.RecoveryEnabled() {
+		if e.Kind == nas.EventNodeFailed && (a.RecoveryEnabled() || a.hasReplicas()) {
 			node := e.Node
 			a.world.s.Spawn("oas.recover:"+a.id, func(p sched.Proc) {
 				a.RecoverFrom(p, node)

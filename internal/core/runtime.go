@@ -11,6 +11,7 @@ import (
 	"jsymphony/internal/codebase"
 	"jsymphony/internal/metrics"
 	"jsymphony/internal/nas"
+	"jsymphony/internal/replica"
 	"jsymphony/internal/rmi"
 	"jsymphony/internal/sched"
 	"jsymphony/internal/simnet"
@@ -27,9 +28,10 @@ type Runtime struct {
 	store *codebase.Store
 	mach  *simnet.Machine // nil outside the simulation
 
-	mu       sync.Mutex
-	hosted   map[objKey]*hostedObj
-	locCache map[objKey]string // last known location of foreign objects
+	mu        sync.Mutex
+	hosted    map[objKey]*hostedObj
+	locCache  map[objKey]string          // last known location of foreign objects
+	rsetCache map[objKey]replica.Set     // last known replica sets of foreign objects
 }
 
 type objKey struct {
@@ -44,8 +46,9 @@ type hostedObj struct {
 	ref       Ref
 	instance  any
 	executing int
-	migrating bool // state is being serialized / shipped
-	wanted    bool // a migration or store is waiting for quiescence
+	migrating bool       // state is being serialized / shipped
+	wanted    bool       // a migration or store is waiting for quiescence
+	repl      *replState // nil unless the object is replicated (see replica.go)
 }
 
 // Ctx gives application methods access to their execution context.  A
@@ -90,13 +93,14 @@ func (c *Ctx) Invoke(ref Ref, method string, args []any) (any, error) {
 // newRuntime wires a node runtime; the station must not be started yet.
 func newRuntime(w *World, st *rmi.Station, agent *nas.Agent, mach *simnet.Machine) *Runtime {
 	rt := &Runtime{
-		world:    w,
-		st:       st,
-		agent:    agent,
-		store:    codebase.NewStore(w.registry),
-		mach:     mach,
-		hosted:   make(map[objKey]*hostedObj),
-		locCache: make(map[objKey]string),
+		world:     w,
+		st:        st,
+		agent:     agent,
+		store:     codebase.NewStore(w.registry),
+		mach:      mach,
+		hosted:    make(map[objKey]*hostedObj),
+		locCache:  make(map[objKey]string),
+		rsetCache: make(map[objKey]replica.Set),
 	}
 	st.Register(PubService, rt.handlePub)
 	return rt
@@ -136,6 +140,7 @@ func (rt *Runtime) Crash() {
 	rt.mu.Lock()
 	rt.hosted = make(map[objKey]*hostedObj)
 	rt.locCache = make(map[objKey]string)
+	rt.rsetCache = make(map[objKey]replica.Set)
 	rt.mu.Unlock()
 	rt.agent.SetObjects(0)
 }
@@ -181,11 +186,11 @@ func (rt *Runtime) handlePub(p sched.Proc, from, method string, body []byte) ([]
 		if err := rmi.Unmarshal(body, &req); err != nil {
 			return nil, err
 		}
-		res, service, err := rt.invoke(p, req)
+		resp, err := rt.invoke(p, req)
 		if err != nil {
 			return nil, err
 		}
-		return rmi.MustMarshal(invokeResp{Result: res, Service: service}), nil
+		return rmi.MustMarshal(resp), nil
 	case "migrateOut":
 		var req migrateOutReq
 		if err := rmi.Unmarshal(body, &req); err != nil {
@@ -236,6 +241,51 @@ func (rt *Runtime) handlePub(p sched.Proc, from, method string, body []byte) ([]
 		return nil, err
 	case "objects":
 		return rmi.MustMarshal(rt.Objects()), nil
+	case "replicaConfigure":
+		var req replicaConfigureReq
+		if err := rmi.Unmarshal(body, &req); err != nil {
+			return nil, err
+		}
+		return nil, rt.replicaConfigure(req)
+	case "replicaUpdate":
+		var req replicaUpdateReq
+		if err := rmi.Unmarshal(body, &req); err != nil {
+			return nil, err
+		}
+		return nil, rt.replicaApply(req)
+	case "replicaAuthRenew":
+		var req replicaAuthRenewReq
+		if err := rmi.Unmarshal(body, &req); err != nil {
+			return nil, err
+		}
+		return nil, rt.replicaAuthRenew(req)
+	case "replicaDrop":
+		var req replicaDropReq
+		if err := rmi.Unmarshal(body, &req); err != nil {
+			return nil, err
+		}
+		rt.replicaDrop(objKey{req.App, req.ID})
+		return nil, nil
+	case "replicaSnapshot":
+		var req replicaSnapshotReq
+		if err := rmi.Unmarshal(body, &req); err != nil {
+			return nil, err
+		}
+		resp, err := rt.replicaSnapshot(p, objKey{req.App, req.ID})
+		if err != nil {
+			return nil, err
+		}
+		return rmi.MustMarshal(resp), nil
+	case "replicaRenew":
+		var req replicaRenewReq
+		if err := rmi.Unmarshal(body, &req); err != nil {
+			return nil, err
+		}
+		resp, err := rt.replicaRenew(p, objKey{req.App, req.ID})
+		if err != nil {
+			return nil, err
+		}
+		return rmi.MustMarshal(resp), nil
 	}
 	return nil, fmt.Errorf("oas: puboa has no method %q", method)
 }
@@ -279,13 +329,19 @@ var ctxType = reflect.TypeOf((*Ctx)(nil))
 // time the method body ran (the span's service component).  Invocations
 // on an object that has migrated away (or is mid-migration) fail with
 // the typed sentinel the caller uses to re-resolve the location (Fig. 4).
-func (rt *Runtime) invoke(p sched.Proc, req invokeReq) (any, time.Duration, error) {
+//
+// Replication hooks in here: declared reads arriving at a read replica
+// are served locally (invokeAtReplica); a write executing on a
+// replicated primary is serialized against other writes and propagated
+// to the replica set before the response leaves (strong mode) or as a
+// one-way fan-out (eventual mode).
+func (rt *Runtime) invoke(p sched.Proc, req invokeReq) (invokeResp, error) {
 	key := objKey{req.App, req.ID}
 	rt.mu.Lock()
 	h, ok := rt.hosted[key]
 	if !ok {
 		rt.mu.Unlock()
-		return nil, 0, errors.New(errObjMoved)
+		return invokeResp{}, errors.New(errObjMoved)
 	}
 	if h.migrating || h.wanted {
 		// A migration (or store) is in progress or waiting for the
@@ -293,7 +349,41 @@ func (rt *Runtime) invoke(p sched.Proc, req invokeReq) (any, time.Duration, erro
 		// callers cannot starve it; they retry and re-resolve the
 		// location once the object lands (Fig. 4).
 		rt.mu.Unlock()
-		return nil, 0, errors.New(errObjBusy)
+		return invokeResp{}, errors.New(errObjBusy)
+	}
+	rs := h.repl
+	if rs != nil && rs.isReplica {
+		rt.mu.Unlock()
+		return rt.invokeAtReplica(p, h, req)
+	}
+	if rs != nil {
+		// Fencing: a primary whose write authority lapsed has been (or is
+		// about to be) deposed by a promotion it never heard about — a
+		// partition cut it off from its AppOA.  Serving anything here
+		// could ack state the surviving lineage will never contain, so
+		// every call is deflected until the AppOA renews the grant.
+		if rs.authorityLapsed(rt.world.s.Now()) {
+			rt.mu.Unlock()
+			rt.world.reg.Counter("js_replica_auth_rejects_total").Inc()
+			return invokeResp{}, errors.New(errObjMoved)
+		}
+		// A strong-mode primary that dropped every peer as unreachable
+		// cannot honor the mode's ack contract; deflect until the AppOA
+		// repairs or tears down the set.
+		if rs.mode == replica.Strong && len(rs.peers) == 0 {
+			rt.mu.Unlock()
+			return invokeResp{}, errors.New(errObjMoved)
+		}
+	}
+	// A write on a replicated primary holds the fan lock across
+	// execution and propagation: writes serialize with each other, and
+	// the state shipped to replicas is a consistent post-write snapshot
+	// whose version order matches apply order.
+	primaryWrite := rs != nil && len(rs.peers) > 0 && !rs.reads[req.Method]
+	strongWrite := primaryWrite && rs.mode == replica.Strong
+	var rset replica.Set
+	if rs != nil && len(rs.peers) > 0 {
+		rset = rs.setSnapshot(rt.Node())
 	}
 	h.executing++
 	inst := h.instance
@@ -305,6 +395,32 @@ func (rt *Runtime) invoke(p sched.Proc, req invokeReq) (any, time.Duration, erro
 		rt.mu.Unlock()
 	}()
 
+	var undo []byte
+	if primaryWrite {
+		rs.fan.lock(p)
+		defer rs.fan.unlock()
+		if strongWrite {
+			undo, _ = rmi.Marshal(inst)
+		}
+	}
+	res, service, err := rt.execMethod(p, inst, req)
+	if primaryWrite && err == nil {
+		delivered := rt.propagate(p, h, rs)
+		if strongWrite && delivered == 0 && undo != nil {
+			// No peer saw the write: acking it would claim durability the
+			// set cannot provide (and a fenced-off zombie would claim it
+			// into an abandoned lineage).  Undo and deflect.
+			if rbErr := rt.rollbackWrite(h, rs, undo); rbErr == nil {
+				return invokeResp{}, errors.New(errObjMoved)
+			}
+		}
+	}
+	return invokeResp{Result: res, Service: service, RSet: rset}, err
+}
+
+// execMethod runs one method body on an instance, with Ctx injection and
+// the per-invocation trace/metrics bookkeeping.
+func (rt *Runtime) execMethod(p sched.Proc, inst any, req invokeReq) (any, time.Duration, error) {
 	args := req.Args
 	// Methods may declare *core.Ctx as their first parameter to access
 	// the execution context.
@@ -439,7 +555,16 @@ func (rt *Runtime) persist(p sched.Proc, req storeReq) (string, error) {
 	if k == "" {
 		k = fmt.Sprintf("jsobj-%s-%d-%d", req.App, req.ID, p.Sched().Now().Nanoseconds())
 	}
-	if err := rt.world.storage.Put(k, PersistRecord{Class: h.ref.Class, State: state}); err != nil {
+	rec := PersistRecord{Class: h.ref.Class, State: state}
+	// A replicated primary persists its policy too, so a restore can
+	// re-materialize the replica set instead of silently degrading the
+	// object to a single copy.
+	rt.mu.Lock()
+	if rs := h.repl; rs != nil && !rs.isReplica && len(rs.peers) > 0 {
+		rec.Replica = rs.policySnapshot()
+	}
+	rt.mu.Unlock()
+	if err := rt.world.storage.Put(k, rec); err != nil {
 		return "", err
 	}
 	rt.world.emit(trace.Event{Kind: trace.ObjStored, Node: rt.Node(), App: req.App, Obj: req.ID, Detail: k})
@@ -519,35 +644,66 @@ func (rt *Runtime) InvokeRef(p sched.Proc, ref Ref, method string, args []any) (
 // InvokeRefTraced is InvokeRef with explicit span lineage: parent is the
 // caller's span id (0 for a root call) and kind records how the caller
 // issued the invocation (the async flavor runs this on a dedicated proc).
+//
+// For replicated objects the locate response carries the replica set;
+// it is cached alongside the location, and invocations of declared read
+// methods are routed to the nearest live member (writes keep targeting
+// the primary).  A member that deflects or times out is avoided on the
+// retry, so reads fail over across the set.
 func (rt *Runtime) InvokeRefTraced(p sched.Proc, parent uint64, kind trace.SpanKind, ref Ref, method string, args []any) (any, error) {
 	key := objKey{ref.App, ref.ID}
 	rt.mu.Lock()
 	loc, cached := rt.locCache[key]
+	set := rt.rsetCache[key]
 	rt.mu.Unlock()
 	if !cached {
 		loc = ref.Origin // first guess: objects often live near their app
 	}
 	sr := rt.beginSpan(parent, kind, ref, method)
 	var lastErr error
+	var avoid map[string]bool
 	deadline := p.Sched().Now() + invokeTimeout
 	backoff := 2 * time.Millisecond
 	for p.Sched().Now() < deadline {
+		target := loc
+		read := !set.Empty() && set.IsRead(method)
+		if read {
+			if n, ok := rt.world.routeRead(refKey(ref.App, ref.ID), rt.Node(), set, avoid); ok {
+				target = n
+			}
+		}
 		sr.beginAttempt()
-		res, service, err := rt.invokeAt(p, loc, ref, method, args, sr.span.ID)
+		resp, err := rt.invokeAt(p, target, ref, method, args, sr.span.ID, read)
 		if err == nil {
 			rt.mu.Lock()
 			rt.locCache[key] = loc
+			if !resp.RSet.Empty() {
+				// The primary served us and told us about its replica set;
+				// route subsequent declared reads through it.
+				rt.rsetCache[key] = resp.RSet
+			}
 			rt.mu.Unlock()
-			sr.finish(loc, service, nil)
-			return res, nil
+			sr.span.Staleness = resp.Staleness
+			rt.world.noteRead(read, resp)
+			sr.finish(target, resp.Service, nil)
+			return resp.Result, nil
 		}
 		lastErr = err
 		if !rmi.IsRemote(err, errObjMoved) && !rmi.IsRemote(err, errObjBusy) &&
-			!rmi.IsRemote(err, errObjUnknown) && !errors.Is(err, rmi.ErrTimeout) {
-			sr.finish(loc, 0, err)
+			!rmi.IsRemote(err, errObjUnknown) && !rmi.IsRemote(err, errReplicaStale) &&
+			!errors.Is(err, rmi.ErrTimeout) {
+			sr.finish(target, 0, err)
 			return nil, err
 		}
-		if rmi.IsRemote(err, errObjBusy) || errors.Is(err, rmi.ErrTimeout) {
+		if read && target != loc {
+			// The read replica deflected or is unreachable: fail over to
+			// another member right away; the re-locate below refreshes
+			// the set (a crashed member disappears from it).
+			if avoid == nil {
+				avoid = make(map[string]bool)
+			}
+			avoid[target] = true
+		} else if rmi.IsRemote(err, errObjBusy) || errors.Is(err, rmi.ErrTimeout) {
 			// Migration in progress: block-and-retry (the paper's RMI
 			// simply waits), with bounded backoff.  A timed-out call gets
 			// the same treatment: the host may have crashed, and backing
@@ -558,13 +714,13 @@ func (rt *Runtime) InvokeRefTraced(p sched.Proc, parent uint64, kind trace.SpanK
 				backoff *= 2
 			}
 		}
-		newLoc, err2 := rt.locate(p, ref)
+		newLoc, newSet, err2 := rt.locate(p, ref)
 		if err2 != nil {
 			err2 = fmt.Errorf("oas: relocating %s/%d: %w", ref.App, ref.ID, err2)
-			sr.finish(loc, 0, err2)
+			sr.finish(target, 0, err2)
 			return nil, err2
 		}
-		loc = newLoc
+		loc, set = newLoc, newSet
 	}
 	err := fmt.Errorf("oas: invocation kept missing migrating object: %w", lastErr)
 	sr.finish(loc, 0, err)
@@ -573,32 +729,32 @@ func (rt *Runtime) InvokeRefTraced(p sched.Proc, parent uint64, kind trace.SpanK
 
 // invokeAt issues one invocation attempt at a specific node, taking the
 // local fast path (the paper's "local (direct) method invocation") when
-// the object is hosted here.  It reports the service time the host
-// measured for the method body alongside the result.
-func (rt *Runtime) invokeAt(p sched.Proc, loc string, ref Ref, method string, args []any, span uint64) (any, time.Duration, error) {
-	req := invokeReq{App: ref.App, ID: ref.ID, Method: method, Args: args, Span: span}
+// the object is hosted here.  read marks invocations of declared
+// read-only methods, the only ones a replica may serve.
+func (rt *Runtime) invokeAt(p sched.Proc, loc string, ref Ref, method string, args []any, span uint64, read bool) (invokeResp, error) {
+	req := invokeReq{App: ref.App, ID: ref.ID, Method: method, Args: args, Span: span, Read: read}
 	if loc == rt.Node() {
-		res, service, err := rt.invoke(p, req)
+		resp, err := rt.invoke(p, req)
 		if err != nil {
 			// Mirror the wire behaviour so retry logic sees the same
 			// sentinels either way.
-			return nil, 0, &rmi.RemoteError{Node: loc, Msg: err.Error()}
+			return invokeResp{}, &rmi.RemoteError{Node: loc, Msg: err.Error()}
 		}
-		return res, service, nil
+		return resp, nil
 	}
 	body, err := rmi.Marshal(req)
 	if err != nil {
-		return nil, 0, err
+		return invokeResp{}, err
 	}
 	respBody, err := rt.st.Call(p, loc, PubService, "invoke", body, invokeTimeout)
 	if err != nil {
-		return nil, 0, err
+		return invokeResp{}, err
 	}
 	var resp invokeResp
 	if err := rmi.Unmarshal(respBody, &resp); err != nil {
-		return nil, 0, err
+		return invokeResp{}, err
 	}
-	return resp.Result, resp.Service, nil
+	return resp, nil
 }
 
 // invokeTimeout bounds one remote method execution.  Long-running
@@ -606,29 +762,38 @@ func (rt *Runtime) invokeAt(p sched.Proc, loc string, ref Ref, method string, ar
 // no timeout at all, so this is generous.
 const invokeTimeout = 10 * time.Minute
 
-// ForgetLocation drops the cached location of a foreign object, forcing
-// the next InvokeRef to re-resolve through the origin AppOA (used when a
-// caller learns out-of-band that the topology changed, and by the
-// forwarding-penalty benchmark).
+// ForgetLocation drops the cached location and replica set of a foreign
+// object, forcing the next InvokeRef to re-resolve through the origin
+// AppOA (used when a caller learns out-of-band that the topology
+// changed, and by the forwarding-penalty benchmark).
 func (rt *Runtime) ForgetLocation(ref Ref) {
 	rt.mu.Lock()
 	delete(rt.locCache, objKey{ref.App, ref.ID})
+	delete(rt.rsetCache, objKey{ref.App, ref.ID})
 	rt.mu.Unlock()
 }
 
-// locate asks the origin AppOA where the object currently lives (Fig. 4).
-func (rt *Runtime) locate(p sched.Proc, ref Ref) (string, error) {
+// locate asks the origin AppOA where the object currently lives (Fig. 4)
+// and what its replica set is (empty for unreplicated objects).
+func (rt *Runtime) locate(p sched.Proc, ref Ref) (string, replica.Set, error) {
 	body, err := rt.st.Call(p, ref.Origin, ref.appService(), "locate",
 		rmi.MustMarshal(locateReq{ID: ref.ID}), 5*time.Second)
 	if err != nil {
-		return "", err
+		return "", replica.Set{}, err
 	}
 	var resp locateResp
 	if err := rmi.Unmarshal(body, &resp); err != nil {
-		return "", err
+		return "", replica.Set{}, err
 	}
 	if !resp.OK {
-		return "", errors.New(errObjUnknown)
+		return "", replica.Set{}, errors.New(errObjUnknown)
 	}
-	return resp.Node, nil
+	rt.mu.Lock()
+	if resp.RSet.Empty() {
+		delete(rt.rsetCache, objKey{ref.App, ref.ID})
+	} else {
+		rt.rsetCache[objKey{ref.App, ref.ID}] = resp.RSet
+	}
+	rt.mu.Unlock()
+	return resp.Node, resp.RSet, nil
 }

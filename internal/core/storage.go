@@ -7,13 +7,20 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+
+	"jsymphony/internal/replica"
 )
 
 // PersistRecord is one stored object (paper §4.7): its class and
-// serialized state, retrievable under a unique string key.
+// serialized state, retrievable under a unique string key.  Replica is
+// non-nil when the object was replicated at store time: App.Load uses
+// it to re-materialize the replica set on restore.  (The field is a
+// gob-compatible extension — records written before it exists decode
+// with Replica == nil.)
 type PersistRecord struct {
-	Class string
-	State []byte
+	Class   string
+	State   []byte
+	Replica *replica.Policy
 }
 
 // Storage is the external storage persistent objects go to.

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"jsymphony/internal/params"
+	"jsymphony/internal/replica"
 	"jsymphony/internal/rmi"
 )
 
@@ -50,20 +51,33 @@ type (
 	}
 	// invokeReq executes a method on a hosted object.  Span carries the
 	// caller's span id so nested invocations made by the method body
-	// (through Ctx) parent to it — causality survives the hop.
+	// (through Ctx) parent to it — causality survives the hop.  Read
+	// marks the invocation as declared read-only by the caller's replica
+	// policy: only read invocations may be served by a replica; anything
+	// else arriving at a replica is deflected to the primary.
 	invokeReq struct {
 		App    string
 		ID     uint64
 		Method string
 		Args   []any
 		Span   uint64
+		Read   bool
 	}
 	// invokeResp returns the method result.  Service is the scheduler
 	// time the method body ran at the host, letting the caller split its
-	// round trip into service vs. wire time.
+	// round trip into service vs. wire time.  Replica is set when a read
+	// replica served the call; Staleness then bounds how old the served
+	// state is (time since it left the primary; 0 under a strong lease).
+	// RSet piggybacks the object's replica set when the primary of a
+	// replicated object serves the call: a caller whose first-guess
+	// target was right never re-locates, so without the piggyback it
+	// would never learn the set and never route its reads.
 	invokeResp struct {
-		Result  any
-		Service time.Duration
+		Result    any
+		Service   time.Duration
+		Staleness time.Duration
+		Replica   bool
+		RSet      replica.Set
 	}
 	// migrateOutReq asks the current host pa1 to move the object to
 	// Dest (= pa2); sent by the origin AppOA (Fig. 3 step 1).
@@ -97,23 +111,100 @@ type (
 	locateReq struct {
 		ID uint64
 	}
-	// locateResp answers with the current node.
+	// locateResp answers with the current node — and, for a replicated
+	// object, the whole replica set, so the caller can route declared
+	// reads to a nearby replica instead of the primary.
 	locateResp struct {
 		Node string
 		OK   bool
+		RSet replica.Set
 	}
 	// codebaseReq loads classes onto the receiving node; the jar bytes
 	// are modeled by the message pad.
 	codebaseReq struct {
 		Classes []string
 	}
+
+	// Replication protocol (AppOA ↔ PubOAs; forward extension, see
+	// internal/replica).
+
+	// replicaConfigureReq installs or refreshes the primary-side
+	// replication state on the node hosting the writable copy: the peer
+	// set writes fan out to, and the policy slice the fan-out needs.
+	// AuthUntil grants write authority until that instant: past it the
+	// primary deflects every call until the origin AppOA renews the
+	// grant, which fences a deposed primary that a partition cut off
+	// (it cannot ack writes the promoted lineage will never see).
+	replicaConfigureReq struct {
+		App       string
+		ID        uint64
+		Peers     []string
+		Mode      replica.Mode
+		Lease     time.Duration
+		Reads     []string
+		AuthUntil time.Duration
+	}
+	// replicaAuthRenewReq extends the primary's write authority (origin
+	// AppOA -> primary, periodic).  A primary the AppOA cannot reach
+	// stops being renewed and self-fences when the last grant expires;
+	// promotion waits out that horizon before installing a survivor.
+	replicaAuthRenewReq struct {
+		App   string
+		ID    uint64
+		Until time.Duration
+	}
+	// replicaUpdateReq ships one state update (or the initial seed) from
+	// the primary to a replica.  Version orders updates: a replica
+	// applies the state only if Version exceeds what it holds, so lost,
+	// duplicated, or reordered propagation (the rmi layer may resend)
+	// can never roll a replica backwards.  Force overrides the version
+	// check for re-seeds after migration or promotion, where the version
+	// counter restarts.
+	replicaUpdateReq struct {
+		Ref     Ref
+		State   []byte
+		Version uint64
+		AsOf    time.Duration // primary's clock when the state was captured
+		Lease   time.Duration // strong mode: how long reads may be served
+		Mode    replica.Mode
+		Primary string
+		Force   bool
+	}
+	// replicaDropReq discards a replica instance.
+	replicaDropReq struct {
+		App string
+		ID  uint64
+	}
+	// replicaSnapshotReq asks a member for its current state + version
+	// (seeding new replicas; electing the freshest survivor).
+	replicaSnapshotReq struct {
+		App string
+		ID  uint64
+	}
+	replicaSnapshotResp struct {
+		State   []byte
+		Version uint64
+	}
+	// replicaRenewReq asks the primary for a fresh state and lease
+	// (strong mode: a replica whose lease expired renews before serving).
+	replicaRenewReq struct {
+		App string
+		ID  uint64
+	}
+	replicaRenewResp struct {
+		State   []byte
+		Version uint64
+		AsOf    time.Duration
+		Lease   time.Duration
+	}
 )
 
 // Typed error sentinels tunneled through rmi.RemoteError by message.
 const (
-	errObjMoved   = "oas: object not hosted here"
-	errObjBusy    = "oas: object is migrating"
-	errObjUnknown = "oas: no such object"
+	errObjMoved     = "oas: object not hosted here"
+	errObjBusy      = "oas: object is migrating"
+	errObjUnknown   = "oas: no such object"
+	errReplicaStale = "oas: replica lease expired"
 )
 
 func init() {

@@ -12,6 +12,7 @@ import (
 	"jsymphony/internal/metrics"
 	"jsymphony/internal/nas"
 	"jsymphony/internal/params"
+	"jsymphony/internal/replica"
 	"jsymphony/internal/rmi"
 	"jsymphony/internal/sched"
 	"jsymphony/internal/simnet"
@@ -66,6 +67,7 @@ type World struct {
 	tracer *trace.Log
 	spans  *trace.SpanLog
 	reg    *metrics.Registry
+	router *replica.Router // nearest-replica read routing
 
 	mu          sync.Mutex
 	runtimes    map[string]*Runtime
@@ -169,6 +171,7 @@ func newWorld(s sched.Sched, opt Options) *World {
 		tracer:   trace.NewLog(trace.DefaultDepth),
 		spans:    trace.NewSpanLog(trace.DefaultSpanDepth),
 		reg:      metrics.NewRegistry(),
+		router:   replica.NewRouter(),
 	}
 }
 
@@ -235,6 +238,71 @@ func (w *World) Spans() *trace.SpanLog { return w.spans }
 // metrics are recorded against the world's scheduler clock, so on sim
 // worlds a snapshot is a deterministic function of the seed.
 func (w *World) Metrics() *metrics.Registry { return w.reg }
+
+// routeRead picks the replica-set member a declared read should target,
+// given the caller's node and the members it already failed against.
+// Nearest by fabric latency wins; equally-near members are rotated
+// per-object so a uniform cluster spreads load instead of hammering one
+// copy.  ok is false when no routable member remains (the caller then
+// falls back to the primary location it already has).
+func (w *World) routeRead(key, origin string, set replica.Set, avoid map[string]bool) (string, bool) {
+	return w.router.Pick(key, origin, set.Members(), avoid, w.replicaMetric())
+}
+
+// replicaMetric adapts the fabric and the directory to the router's view
+// of the installation.  Real-time worlds have no fabric: distances
+// degrade to zero and the per-key rotation alone spreads reads.
+func (w *World) replicaMetric() replica.Metric {
+	m := replica.Metric{}
+	if w.fab != nil {
+		m.Latency = func(from, to string) time.Duration {
+			a, okA := w.fab.ByName(from)
+			b, okB := w.fab.ByName(to)
+			if !okA || !okB {
+				return 0
+			}
+			return w.fab.Latency(a, b)
+		}
+		m.Bandwidth = func(from, to string) float64 {
+			a, okA := w.fab.ByName(from)
+			b, okB := w.fab.ByName(to)
+			if !okA || !okB {
+				return 0
+			}
+			return w.fab.Bandwidth(a, b)
+		}
+	}
+	if w.dir != nil {
+		live := make(map[string]bool)
+		for _, n := range w.dir.Nodes(w.s.Now()) {
+			live[n] = true
+		}
+		m.Alive = func(node string) bool { return live[node] }
+	}
+	return m
+}
+
+// noteRead records where a successful declared read was served and how
+// stale the state was, feeding the replica-hit ratio and the staleness
+// distribution the shell's metrics command shows.
+func (w *World) noteRead(read bool, resp invokeResp) {
+	if !read {
+		return
+	}
+	if resp.Replica {
+		w.reg.Counter("js_replica_read_hits_total").Inc()
+		w.reg.Histogram("js_replica_staleness_us", nil).ObserveDuration(resp.Staleness)
+	} else {
+		w.reg.Counter("js_replica_read_primary_total").Inc()
+	}
+}
+
+// Apps returns the registered applications in registration order.
+func (w *World) Apps() []*App {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]*App(nil), w.apps...)
+}
 
 // emit records an installation event with the current scheduler time.
 func (w *World) emit(e trace.Event) {
@@ -484,7 +552,10 @@ func (w *World) onLiveness(e nas.Event) {
 		apps := append([]*App(nil), w.apps...)
 		w.mu.Unlock()
 		for _, a := range apps {
-			if a.RecoveryEnabled() {
+			// Replicated objects are repaired (promotion, set healing) even
+			// when checkpoint recovery is off: availability through replicas
+			// is exactly what replication buys.
+			if a.RecoveryEnabled() || a.hasReplicas() {
 				app, node := a, e.Node
 				w.s.Spawn("oas.recover:"+app.id, func(p sched.Proc) {
 					app.RecoverFrom(p, node)

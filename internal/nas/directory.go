@@ -26,7 +26,8 @@ type Directory struct {
 
 	mu      sync.Mutex
 	entries map[string]*dirEntry
-	reg     *metrics.Registry // nil unless SetMetrics was called
+	rsets   map[string]RSetInfo // replica sets by "<app>/<id>" (see rset.go)
+	reg     *metrics.Registry   // nil unless SetMetrics was called
 }
 
 // SetMetrics points the directory at a metrics registry.  Each agent
@@ -70,7 +71,8 @@ type listResp struct {
 
 // NewDirectory registers the DirService on st.
 func NewDirectory(st *rmi.Station, cfg Config) *Directory {
-	d := &Directory{st: st, cfg: cfg.withDefaults(), entries: make(map[string]*dirEntry)}
+	d := &Directory{st: st, cfg: cfg.withDefaults(),
+		entries: make(map[string]*dirEntry), rsets: make(map[string]RSetInfo)}
 	st.Register(DirService, d.handle)
 	return d
 }
@@ -115,6 +117,22 @@ func (d *Directory) handle(p sched.Proc, from, method string, body []byte) ([]by
 	case "list":
 		nodes, snaps := d.listAll()
 		return rmi.MustMarshal(listResp{Nodes: nodes, Snaps: snaps}), nil
+	case "rsetPut":
+		var info RSetInfo
+		if err := rmi.Unmarshal(body, &info); err != nil {
+			return nil, err
+		}
+		d.putRSet(info)
+		return nil, nil
+	case "rsetDel":
+		var key string
+		if err := rmi.Unmarshal(body, &key); err != nil {
+			return nil, err
+		}
+		d.delRSet(key)
+		return nil, nil
+	case "rsetList":
+		return rmi.MustMarshal(d.ReplicaSets()), nil
 	}
 	return nil, fmt.Errorf("nas: directory has no method %q", method)
 }

@@ -1,0 +1,150 @@
+package rmi
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"jsymphony/internal/sched"
+)
+
+// soloStation builds a station whose dedup table can be driven directly;
+// no network traffic is needed to exercise the idempotency bookkeeping.
+func soloStation(t *testing.T, pol Policy) *Station {
+	t.Helper()
+	s := sched.Real()
+	net := NewMem(s, 0)
+	ep, _ := net.Attach("n")
+	st := NewStation(s, ep)
+	st.SetPolicy(pol)
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+func idemMsg(from string, id uint64) *Message {
+	return &Message{From: from, To: "n", Kind: KindRequest, ID: id, Idem: true}
+}
+
+// TestDedupTTLExpiry: entries older than Policy.DedupTTL are garbage
+// collected, and a duplicate arriving after expiry is treated as fresh
+// (re-executed) rather than answered from a cache that no longer exists.
+func TestDedupTTLExpiry(t *testing.T) {
+	st := soloStation(t, Policy{DedupTTL: 30 * time.Millisecond})
+	for i := uint64(0); i < 10; i++ {
+		if _, dup := st.dedupCheck(idemMsg("a", i)); dup {
+			t.Fatalf("fresh request %d reported as duplicate", i)
+		}
+	}
+	if got := st.DedupSize(); got != 10 {
+		t.Fatalf("DedupSize = %d, want 10", got)
+	}
+	// Within the TTL a resend is a duplicate.
+	if _, dup := st.dedupCheck(idemMsg("a", 3)); !dup {
+		t.Fatal("resend inside the TTL not deduplicated")
+	}
+	time.Sleep(60 * time.Millisecond)
+	if got := st.DedupSize(); got != 0 {
+		t.Fatalf("DedupSize after TTL = %d, want 0", got)
+	}
+	// The order slice was fully reclaimed, not just re-sliced.
+	st.mu.Lock()
+	head, n := st.dedupHead, len(st.dedupOrder)
+	st.mu.Unlock()
+	if head != 0 || n != 0 {
+		t.Fatalf("order slice not compacted: head=%d len=%d", head, n)
+	}
+	// A late retry past the TTL is fresh again (re-execution is the
+	// documented trade-off of a finite window).
+	if _, dup := st.dedupCheck(idemMsg("a", 3)); dup {
+		t.Fatal("retry after TTL still deduplicated against freed entry")
+	}
+}
+
+// TestDedupCapEviction: the dedupMax FIFO cap still applies with the
+// head-index scheme, and the live count matches the order window.
+func TestDedupCapEviction(t *testing.T) {
+	st := soloStation(t, Policy{DedupTTL: time.Hour}) // TTL out of the way
+	for i := uint64(0); i < dedupMax+32; i++ {
+		st.dedupCheck(idemMsg("a", i))
+	}
+	if got := st.DedupSize(); got != dedupMax {
+		t.Fatalf("DedupSize = %d, want %d", got, dedupMax)
+	}
+	st.mu.Lock()
+	live := len(st.dedupOrder) - st.dedupHead
+	ok := live == len(st.dedup)
+	st.mu.Unlock()
+	if !ok {
+		t.Fatalf("order window (%d) out of sync with map", live)
+	}
+	// The oldest entries were evicted: id 0 is fresh again.
+	if _, dup := st.dedupCheck(idemMsg("a", 0)); dup {
+		t.Fatal("evicted entry still answers as duplicate")
+	}
+}
+
+// TestDedupStoreAfterExpiry: storing a response for an entry the GC
+// already dropped is a harmless no-op.
+func TestDedupStoreAfterExpiry(t *testing.T) {
+	st := soloStation(t, Policy{DedupTTL: 10 * time.Millisecond})
+	msg := idemMsg("a", 1)
+	st.dedupCheck(msg)
+	time.Sleep(30 * time.Millisecond)
+	st.DedupSize() // forces the sweep
+	st.dedupStore(msg, &Message{Kind: KindResponse})
+	if got := st.DedupSize(); got != 0 {
+		t.Fatalf("dedupStore resurrected an expired entry: size %d", got)
+	}
+}
+
+// TestDedupBoundedUnderLoss is the regression for the unbounded-table
+// leak: a receiver under sustained loss-heavy retry traffic keeps its
+// idempotency table (and the backing array of its eviction order) sized
+// to the TTL window, not to the lifetime call count — previously the
+// order slice was advanced with order = order[1:], which pins the whole
+// backing array, and entries were never aged out below the cap.
+func TestDedupBoundedUnderLoss(t *testing.T) {
+	net, a, b, served := lossPair(t)
+	a.SetPolicy(Policy{
+		AttemptTimeout: 20 * time.Millisecond,
+		Retries:        10,
+		Backoff:        2 * time.Millisecond,
+		BackoffMax:     20 * time.Millisecond,
+		Multiplier:     2,
+	})
+	// The TTL must exceed the caller's whole retry window (~0.4s with
+	// the policy above) or late retries re-execute; 1s is safely past it
+	// while still far below the ~8s the call sequence takes.
+	b.SetPolicy(Policy{DedupTTL: time.Second})
+	net.SetLossRate(0.3)
+	p := sched.RealProc(a.s)
+	const calls = 300
+	peak := 0
+	for i := 0; i < calls; i++ {
+		if _, err := a.Call(p, "b", "echo", fmt.Sprintf("m%d", i), nil, 2*time.Second); err != nil {
+			t.Fatalf("call %d under loss: %v", i, err)
+		}
+		if n := b.DedupSize(); n > peak {
+			peak = n
+		}
+	}
+	if served.Load() != calls {
+		t.Fatalf("handler ran %d times for %d calls — dedup broke under GC", served.Load(), calls)
+	}
+	if peak >= calls {
+		t.Fatalf("dedup table grew to %d entries over %d calls — TTL never pruned", peak, calls)
+	}
+	// Once traffic stops and the TTL passes, everything is reclaimed and
+	// the order slice's backing array is bounded by the peak window (2×
+	// for the dead prefix, 2× for append growth), not the call count.
+	time.Sleep(1200 * time.Millisecond)
+	if n := b.DedupSize(); n != 0 {
+		t.Fatalf("idle table still holds %d entries", n)
+	}
+	b.mu.Lock()
+	orderCap := cap(b.dedupOrder)
+	b.mu.Unlock()
+	if orderCap > 4*peak+64 {
+		t.Fatalf("order backing array cap %d vs peak live %d — prefix never reclaimed", orderCap, peak)
+	}
+}

@@ -31,6 +31,11 @@ type Policy struct {
 	// Multiplier grows the backoff between attempts (values <= 1 keep it
 	// constant).
 	Multiplier float64
+	// DedupTTL bounds how long the receiver remembers a (sender, ID)
+	// pair in its idempotency table (0 = 30s).  It only needs to exceed
+	// the longest plausible retry window: a retry arriving after its
+	// entry expired would re-execute.
+	DedupTTL time.Duration
 }
 
 // next returns the backoff following cur.
@@ -73,6 +78,13 @@ func (st *Station) Closed() bool {
 // can plausibly be in retry windows at once.
 const dedupMax = 2048
 
+// dedupTTLDefault is the retention window when Policy.DedupTTL is unset:
+// entries older than this are garbage-collected even while the table is
+// under dedupMax, so a long-lived station under steady idempotent
+// traffic holds only the entries from recent retry windows instead of
+// the last 2048 calls forever.
+const dedupTTLDefault = 30 * time.Second
+
 // dedupKey identifies one idempotent request: correlation IDs are
 // per-sender, so the pair is unique.
 type dedupKey struct {
@@ -83,9 +95,11 @@ type dedupKey struct {
 // dedupEntry tracks one idempotent request.  resp is nil while the
 // handler is still running (a retry arriving then is simply dropped —
 // the original execution will answer) and holds the response afterwards
-// (a retry gets it re-sent).
+// (a retry gets it re-sent).  at is the scheduler time the request was
+// first seen; the TTL sweep measures age from it.
 type dedupEntry struct {
 	resp *Message
+	at   time.Duration
 }
 
 // dedupCheck registers an inbound idempotent request.  It returns the
@@ -94,21 +108,72 @@ type dedupEntry struct {
 // (nil, false).
 func (st *Station) dedupCheck(msg *Message) (cached *Message, dup bool) {
 	key := dedupKey{from: msg.From, id: msg.ID}
+	now := st.s.Now()
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	st.dedupGC(now)
 	if st.dedup == nil {
 		st.dedup = make(map[dedupKey]*dedupEntry)
 	}
 	if e, ok := st.dedup[key]; ok {
 		return e.resp, true
 	}
-	st.dedup[key] = &dedupEntry{}
+	st.dedup[key] = &dedupEntry{at: now}
 	st.dedupOrder = append(st.dedupOrder, key)
-	for len(st.dedupOrder) > dedupMax {
-		delete(st.dedup, st.dedupOrder[0])
-		st.dedupOrder = st.dedupOrder[1:]
+	for len(st.dedupOrder)-st.dedupHead > dedupMax {
+		st.dedupDropHead()
 	}
+	st.dedupCompact()
 	return nil, false
+}
+
+// dedupGC expires entries older than the policy TTL.  The order slice is
+// insertion-ordered and entry timestamps never decrease, so expiry only
+// ever consumes a prefix.
+func (st *Station) dedupGC(now time.Duration) {
+	ttl := st.policy.DedupTTL
+	if ttl <= 0 {
+		ttl = dedupTTLDefault
+	}
+	for st.dedupHead < len(st.dedupOrder) {
+		e := st.dedup[st.dedupOrder[st.dedupHead]]
+		if e != nil && now-e.at < ttl {
+			break
+		}
+		st.dedupDropHead()
+	}
+	st.dedupCompact()
+}
+
+// dedupDropHead evicts the oldest entry.  The consumed slot is zeroed
+// (releasing the sender-name string) and skipped via dedupHead rather
+// than re-slicing the front off: `order = order[1:]` keeps the whole
+// backing array reachable, so the dead prefix was never collected.
+func (st *Station) dedupDropHead() {
+	key := st.dedupOrder[st.dedupHead]
+	delete(st.dedup, key)
+	st.dedupOrder[st.dedupHead] = dedupKey{}
+	st.dedupHead++
+}
+
+// dedupCompact reclaims the consumed prefix once it is at least half the
+// slice, bounding dead capacity at 2× the live entry count.
+func (st *Station) dedupCompact() {
+	if st.dedupHead > 0 && st.dedupHead*2 >= len(st.dedupOrder) {
+		n := copy(st.dedupOrder, st.dedupOrder[st.dedupHead:])
+		st.dedupOrder = st.dedupOrder[:n]
+		st.dedupHead = 0
+	}
+}
+
+// DedupSize reports the number of live entries in the idempotency table
+// (after expiring anything past the TTL).
+func (st *Station) DedupSize() int {
+	now := st.s.Now()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.dedupGC(now)
+	return len(st.dedup)
 }
 
 // dedupStore records the response of an executed idempotent request.

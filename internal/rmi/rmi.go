@@ -132,9 +132,13 @@ type Station struct {
 	started  bool
 	policy   Policy
 
-	// Idempotency table for retried requests (see Policy).
+	// Idempotency table for retried requests (see Policy).  dedupOrder
+	// is a FIFO over the map keys; dedupHead indexes its oldest live
+	// slot (evicted slots are zeroed and skipped, and the prefix is
+	// compacted away once it dominates the slice).
 	dedup      map[dedupKey]*dedupEntry
 	dedupOrder []dedupKey
+	dedupHead  int
 
 	stats       Stats
 	metrics     *stationMetrics                  // nil unless SetMetrics was called

@@ -18,6 +18,7 @@ import (
 	"jsymphony/internal/core"
 	"jsymphony/internal/metrics"
 	"jsymphony/internal/params"
+	"jsymphony/internal/replica"
 	"jsymphony/internal/rmi"
 	"jsymphony/internal/sched"
 	"jsymphony/internal/trace"
@@ -102,6 +103,10 @@ func (s *Shell) Exec(p sched.Proc, line string) (string, error) {
 		return s.automigrate(args)
 	case "constraints":
 		return s.constraints(args)
+	case "replicas":
+		return s.replicas(), nil
+	case "rset":
+		return s.rset(p, args)
 	case "kill", "revive":
 		if len(args) != 1 {
 			return "", fmt.Errorf("usage: %s <node>", cmd)
@@ -125,6 +130,9 @@ const helpText = `JS-Shell commands:
   spans [app[/obj]]             invocation spans, optionally per app or object
   top                           per-node utilization, load, objects, traffic
   storage                       list persistent object keys
+  replicas                      replica sets: primary, members, mode, lease
+  rset <app>/<obj> n=<N> [mode=strong|eventual] [reads=M1,M2] [lease=250ms]
+                                replicate an object (N read replicas)
   automigrate on <period>|off   toggle automatic object migration
   constraints show|clear        manage JS-Shell default constraints
   constraints set <param> <op> <value>
@@ -411,6 +419,95 @@ func (s *Shell) chaos(args []string) (string, error) {
 		return fmt.Sprintf("injected: %s\n", f.String()), nil
 	}
 	return "", fmt.Errorf("usage: chaos plan|status|inject <fault>")
+}
+
+// replicas renders every application's replica sets — the authoritative
+// AppOA view, which the installation directory mirrors.
+func (s *Shell) replicas() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %-12s %-8s %-10s %-24s %s\n",
+		"OBJECT", "PRIMARY", "MODE", "LEASE", "REPLICAS", "READS")
+	n := 0
+	for _, a := range s.w.Apps() {
+		for _, info := range a.ReplicaSets() {
+			set := info.Set
+			lease := "-"
+			if set.Mode == replica.Strong {
+				lease = set.Lease.String()
+			}
+			fmt.Fprintf(&b, "%-16s %-12s %-8s %-10s %-24s %s\n",
+				fmt.Sprintf("%s/%d", info.Ref.App, info.Ref.ID),
+				set.Primary, set.Mode, lease,
+				strings.Join(set.Replicas, ","),
+				strings.Join(set.Reads, ","))
+			n++
+		}
+	}
+	if n == 0 {
+		return "(no replicated objects)\n"
+	}
+	return b.String()
+}
+
+// rset replicates one object from the operator's seat:
+// "rset app:node01:1/3 n=2 mode=strong reads=Get,Size lease=250ms".
+// Re-issuing the command replaces the object's existing set.
+func (s *Shell) rset(p sched.Proc, args []string) (string, error) {
+	usage := fmt.Errorf("usage: rset <app>/<obj> n=<N> [mode=strong|eventual] [reads=M1,M2] [lease=250ms]")
+	if len(args) < 2 {
+		return "", usage
+	}
+	appID, objStr, ok := strings.Cut(args[0], "/")
+	if !ok {
+		return "", usage
+	}
+	obj, err := strconv.ParseUint(objStr, 10, 64)
+	if err != nil {
+		return "", fmt.Errorf("bad object id %q", objStr)
+	}
+	var pol replica.Policy
+	for _, kv := range args[1:] {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return "", usage
+		}
+		switch k {
+		case "n":
+			if pol.N, err = strconv.Atoi(v); err != nil {
+				return "", fmt.Errorf("bad n %q", v)
+			}
+		case "mode":
+			pol.Mode = replica.Mode(v)
+			if !pol.Mode.Valid() {
+				return "", fmt.Errorf("bad mode %q (strong or eventual)", v)
+			}
+		case "reads":
+			pol.Reads = strings.Split(v, ",")
+		case "lease":
+			if pol.Lease, err = time.ParseDuration(v); err != nil {
+				return "", fmt.Errorf("bad lease %q", v)
+			}
+		default:
+			return "", usage
+		}
+	}
+	for _, a := range s.w.Apps() {
+		if a.ID() != appID {
+			continue
+		}
+		if err := a.Replicate(p, obj, pol); err != nil {
+			return "", err
+		}
+		for _, info := range a.ReplicaSets() {
+			if info.Ref.ID == obj {
+				return fmt.Sprintf("replicated %s/%d: primary %s, replicas %s (%s)\n",
+					appID, obj, info.Set.Primary,
+					strings.Join(info.Set.Replicas, ","), info.Set.Mode), nil
+			}
+		}
+		return "", fmt.Errorf("replicate succeeded but no set recorded for %s/%d", appID, obj)
+	}
+	return "", fmt.Errorf("no application %q", appID)
 }
 
 func (s *Shell) failure(cmd, node string) (string, error) {

@@ -44,7 +44,11 @@ type Span struct {
 	Queue   time.Duration
 	Service time.Duration
 	Wire    time.Duration
-	Err     string // "" on success
+	// Staleness bounds how old the state that served a replicated read
+	// was (eventual-mode replicas report time since the state left the
+	// primary; 0 everywhere else, including strong-lease reads).
+	Staleness time.Duration
+	Err       string // "" on success
 }
 
 // Total is the span's end-to-end latency.
@@ -58,6 +62,9 @@ func (s Span) String() string {
 		s.Origin, s.Target,
 		s.Total().Round(time.Microsecond), s.Queue.Round(time.Microsecond),
 		s.Service.Round(time.Microsecond), s.Wire.Round(time.Microsecond))
+	if s.Staleness > 0 {
+		fmt.Fprintf(&b, " stale=%s", s.Staleness.Round(time.Microsecond))
+	}
 	if s.Parent != 0 {
 		fmt.Fprintf(&b, " parent=#%d", s.Parent)
 	}

@@ -42,6 +42,13 @@ const (
 	CallTimeout         Kind = "call.timeout"
 	CallRetry           Kind = "call.retry"
 	AutoMigrateDecision Kind = "automigrate.decision"
+
+	// Replication kinds (internal/replica): a set was materialized, a
+	// surviving replica was promoted to primary, a member was dropped
+	// (unreachable during strong propagation, or its node died).
+	ReplicaCreated  Kind = "replica.created"
+	ReplicaPromoted Kind = "replica.promoted"
+	ReplicaDropped  Kind = "replica.dropped"
 )
 
 // Event is one record.

@@ -239,6 +239,21 @@ func (o *Object) Migrate(where Component, constr *Constraints) error {
 	return o.o.Migrate(o.js.p, where, constr)
 }
 
+// Replicate installs a read-replication policy on the object: N replica
+// copies are placed (spread over sites when the installation has them),
+// the methods named in the policy are routed to the nearest live replica,
+// writes keep going to the primary and propagate per the policy's mode,
+// and a primary failure promotes the freshest surviving replica under
+// the same handle.  Re-replicating replaces the existing set.
+func (o *Object) Replicate(pol ReplicaPolicy) error {
+	return o.o.Replicate(o.js.p, pol)
+}
+
+// ReplicaSets lists this application's materialized replica sets.
+func (js *JS) ReplicaSets() []ReplicaSetInfo {
+	return js.app.ReplicaSets()
+}
+
 // Free releases the object ("obj.free()", §4.4).
 func (o *Object) Free() error { return o.o.Free(o.js.p) }
 

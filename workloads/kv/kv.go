@@ -1,0 +1,134 @@
+// Package kv implements a read-mostly key-value workload for exercising
+// the object replication subsystem (internal/replica): a Store object
+// holds a string→int table and is typically replicated with Get/Sum/Len
+// declared read-only, and Reader objects pinned across the installation
+// issue batches of reads *from their own node*, so nearest-replica
+// routing has distinct origins to route from.
+//
+// The modeled per-read CPU cost (ReadFlops) makes read throughput
+// service-bound rather than wire-bound: with N replicas the aggregate
+// read capacity scales with the set size, which is what the replica
+// benchmark (cmd/jsbench -experiment replica) measures.
+package kv
+
+import (
+	"fmt"
+	"sync"
+
+	"jsymphony"
+)
+
+// Registered class names.
+const (
+	StoreClass  = "kv.Store"
+	ReaderClass = "kv.Reader"
+)
+
+func init() {
+	jsymphony.RegisterClass(StoreClass, 4096, func() any { return &Store{} })
+	jsymphony.RegisterClass(ReaderClass, 2048, func() any { return &Reader{} })
+	jsymphony.RegisterWireType(ReadReport{})
+}
+
+// Store is the replicable table.  All state is exported so the object
+// survives migration, persistence, and replica seeding (gob).
+type Store struct {
+	Data      map[string]int
+	ReadFlops float64 // modeled CPU per Get/Sum (0 = free reads)
+
+	mu sync.Mutex // methods run on one proc per RMI
+}
+
+// Init sizes the table and sets the modeled read cost.
+func (s *Store) Init(readFlops float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.Data = make(map[string]int)
+	s.ReadFlops = readFlops
+}
+
+// Put stores one binding.
+func (s *Store) Put(k string, v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.Data == nil {
+		s.Data = make(map[string]int)
+	}
+	s.Data[k] = v
+}
+
+// Add increments a binding and returns the new value.
+func (s *Store) Add(k string, d int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.Data == nil {
+		s.Data = make(map[string]int)
+	}
+	s.Data[k] += d
+	return s.Data[k]
+}
+
+// Get reads one binding, charging the modeled read cost to whichever
+// node serves it (primary or replica).
+func (s *Store) Get(ctx *jsymphony.Ctx, k string) int {
+	s.mu.Lock()
+	v := s.Data[k]
+	flops := s.ReadFlops
+	s.mu.Unlock()
+	if flops > 0 {
+		ctx.Compute(flops)
+	}
+	return v
+}
+
+// Sum folds the table (a heavier read).
+func (s *Store) Sum(ctx *jsymphony.Ctx) int {
+	s.mu.Lock()
+	total := 0
+	for _, v := range s.Data {
+		total += v
+	}
+	flops := s.ReadFlops
+	s.mu.Unlock()
+	if flops > 0 {
+		ctx.Compute(flops)
+	}
+	return total
+}
+
+// Len reports the number of bindings.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.Data)
+}
+
+// ReadMethods is the read-only method set a replication policy should
+// declare for a Store.
+func ReadMethods() []string { return []string{"Get", "Sum", "Len"} }
+
+// ReadReport summarizes one reader's batch.
+type ReadReport struct {
+	Node  string // node the reads were issued from
+	Reads int    // reads performed
+	Sum   int    // checksum over the values read
+}
+
+// Reader issues reads against a Store from wherever it is placed, so a
+// fleet of readers gives the router many distinct origins.
+type Reader struct{}
+
+// Run performs n Gets of key through the store's first-order handle.
+// Each read is issued from the reader's own node and is therefore
+// eligible for nearest-replica routing there.
+func (r *Reader) Run(ctx *jsymphony.Ctx, store jsymphony.Ref, key string, n int) (ReadReport, error) {
+	rep := ReadReport{Node: ctx.Node(), Reads: n}
+	for i := 0; i < n; i++ {
+		v, err := ctx.Invoke(store, "Get", []any{key})
+		if err != nil {
+			return rep, fmt.Errorf("read %d from %s: %w", i, rep.Node, err)
+		}
+		rep.Sum += v.(int)
+	}
+	return rep, nil
+}
