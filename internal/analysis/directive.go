@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// directivePrefix is the waiver comment: //jsvet:allow <analyzer> <reason>.
+const directivePrefix = "//jsvet:allow"
+
+// A directive is one parsed //jsvet:allow comment.
+type directive struct {
+	Pos      token.Position
+	TokPos   token.Pos
+	Analyzer string // empty when malformed
+	Reason   string // empty when missing (malformed)
+}
+
+// funcSpan is the source range waived by a directive in a function's
+// doc comment.
+type funcSpan struct {
+	file       string
+	start, end int // line range, inclusive
+	analyzer   string
+}
+
+// allowIndex answers "is this (analyzer, position) waived?" for one
+// package, and retains the raw directives for driver-side hygiene
+// checks (unknown analyzer, missing reason).
+type allowIndex struct {
+	// byLine maps file -> line -> analyzer names allowed there. A
+	// directive comment covers its own line (trailing form) and the
+	// next line (comment-above form).
+	byLine map[string]map[int][]string
+	funcs  []funcSpan
+	all    []directive
+}
+
+func (ix *allowIndex) allows(analyzer string, pos token.Position) bool {
+	if lines, ok := ix.byLine[pos.Filename]; ok {
+		for _, name := range lines[pos.Line] {
+			if name == analyzer {
+				return true
+			}
+		}
+	}
+	for _, fs := range ix.funcs {
+		if fs.file == pos.Filename && fs.analyzer == analyzer && pos.Line >= fs.start && pos.Line <= fs.end {
+			return true
+		}
+	}
+	return false
+}
+
+// parseDirective parses one comment line; ok is false for non-directives.
+func parseDirective(text string, pos token.Position) (directive, bool) {
+	if !strings.HasPrefix(text, directivePrefix) {
+		return directive{}, false
+	}
+	tail := strings.TrimPrefix(text, directivePrefix)
+	if tail != "" && tail[0] != ' ' && tail[0] != '\t' {
+		return directive{}, false // //jsvet:allowother — not this directive
+	}
+	rest := strings.TrimSpace(tail)
+	d := directive{Pos: pos}
+	if rest == "" {
+		return d, true // malformed: no analyzer
+	}
+	name, reason, _ := strings.Cut(rest, " ")
+	d.Analyzer = name
+	d.Reason = strings.TrimSpace(reason)
+	return d, true
+}
+
+func buildAllowIndex(fset *token.FileSet, files []*ast.File) *allowIndex {
+	ix := &allowIndex{byLine: make(map[string]map[int][]string)}
+	add := func(file string, line int, analyzer string) {
+		if ix.byLine[file] == nil {
+			ix.byLine[file] = make(map[int][]string)
+		}
+		ix.byLine[file][line] = append(ix.byLine[file][line], analyzer)
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pos := fset.Position(c.Pos())
+				d, ok := parseDirective(c.Text, pos)
+				if !ok {
+					continue
+				}
+				d.TokPos = c.Pos()
+				ix.all = append(ix.all, d)
+				if d.Analyzer == "" {
+					continue
+				}
+				add(pos.Filename, pos.Line, d.Analyzer)
+				add(pos.Filename, pos.Line+1, d.Analyzer)
+			}
+		}
+		// A directive in a function's doc comment waives the whole body.
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				d, ok := parseDirective(c.Text, fset.Position(c.Pos()))
+				if !ok || d.Analyzer == "" {
+					continue
+				}
+				ix.funcs = append(ix.funcs, funcSpan{
+					file:     fset.Position(fd.Pos()).Filename,
+					start:    fset.Position(fd.Pos()).Line,
+					end:      fset.Position(fd.End()).Line,
+					analyzer: d.Analyzer,
+				})
+			}
+		}
+	}
+	return ix
+}
+
+// DirectiveChecker returns the hygiene analyzer the driver runs over
+// every package: each //jsvet:allow must name a known analyzer and give
+// a reason.  A waiver that cannot be read back is as dangerous as the
+// finding it hides.
+func DirectiveChecker(known []string) *Analyzer {
+	knownSet := make(map[string]bool, len(known))
+	for _, n := range known {
+		knownSet[n] = true
+	}
+	a := &Analyzer{
+		Name: "directive",
+		Doc:  "checks //jsvet:allow directives name a known analyzer and carry a reason",
+	}
+	a.Run = func(pass *Pass) error {
+		for _, d := range pass.allow.all {
+			switch {
+			case d.Analyzer == "":
+				pass.Reportf(d.TokPos, "//jsvet:allow without an analyzer name")
+			case !knownSet[d.Analyzer]:
+				pass.Reportf(d.TokPos, "//jsvet:allow names unknown analyzer %q", d.Analyzer)
+			case d.Reason == "":
+				pass.Reportf(d.TokPos, "//jsvet:allow %s without a reason", d.Analyzer)
+			}
+		}
+		return nil
+	}
+	return a
+}

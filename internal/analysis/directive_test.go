@@ -1,0 +1,34 @@
+package analysis
+
+import (
+	"go/token"
+	"testing"
+)
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		in       string
+		isDir    bool
+		analyzer string
+		reason   string
+	}{
+		{"// plain comment", false, "", ""},
+		{"//jsvet:allow walltime real-scheduler only", true, "walltime", "real-scheduler only"},
+		{"//jsvet:allow walltime", true, "walltime", ""},
+		{"//jsvet:allow", true, "", ""},
+		{"//jsvet:allowother", false, "", ""}, // no space: not the directive
+	}
+	for _, tc := range cases {
+		d, ok := parseDirective(tc.in, token.Position{})
+		if ok != tc.isDir {
+			t.Errorf("%q: directive=%v, want %v", tc.in, ok, tc.isDir)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if d.Analyzer != tc.analyzer || d.Reason != tc.reason {
+			t.Errorf("%q: parsed (%q, %q), want (%q, %q)", tc.in, d.Analyzer, d.Reason, tc.analyzer, tc.reason)
+		}
+	}
+}

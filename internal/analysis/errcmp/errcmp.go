@@ -1,0 +1,105 @@
+// Package errcmp forbids == / != comparison against sentinel error
+// variables.
+//
+// The rmi retry layer (PR 2) wraps its typed errors — a timeout
+// surfaces as fmt.Errorf("...: %w", rmi.ErrTimeout) after riding
+// through the backoff and dedup machinery.  `err == rmi.ErrTimeout` is
+// therefore false exactly when it matters; only errors.Is unwraps the
+// chain.  The analyzer flags ==/!= (and switch cases) where one side
+// resolves to a package-level variable of error type; comparisons with
+// nil are untouched.
+package errcmp
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"jsymphony/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "errcmp",
+	Doc:  "forbids ==/!= against sentinel error variables (breaks under error wrapping); require errors.Is",
+	Run:  run,
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if isNil(pass, n.X) || isNil(pass, n.Y) {
+					return true
+				}
+				for _, side := range []ast.Expr{n.X, n.Y} {
+					if name, ok := sentinelError(pass, side); ok {
+						pass.Reportf(n.Pos(),
+							"%s compared with %s: the comparison fails once the error is wrapped (rmi wraps typed errors); use errors.Is(err, %s)",
+							name, n.Op, name)
+						break
+					}
+				}
+			case *ast.SwitchStmt:
+				if n.Tag == nil {
+					return true
+				}
+				t := pass.TypeOf(n.Tag)
+				if t == nil || !types.Identical(t, types.Universe.Lookup("error").Type()) {
+					return true
+				}
+				for _, c := range n.Body.List {
+					cc, ok := c.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						if name, ok := sentinelError(pass, e); ok {
+							pass.Reportf(e.Pos(),
+								"switch case on sentinel %s compares with ==, which fails once the error is wrapped; use errors.Is(err, %s)",
+								name, name)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// sentinelError reports whether e resolves to a package-level variable
+// whose type satisfies error — the errors.New / typed-sentinel shape.
+func sentinelError(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	var id *ast.Ident
+	switch e := e.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return "", false
+	}
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return "", false
+	}
+	if !types.Implements(v.Type(), errorIface) {
+		return "", false
+	}
+	return types.ExprString(e), true
+}
+
+func isNil(pass *analysis.Pass, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNilObj := pass.TypesInfo.Uses[id].(*types.Nil)
+	return isNilObj
+}

@@ -1,0 +1,13 @@
+package errcmp_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"jsymphony/internal/analysis/analysistest"
+	"jsymphony/internal/analysis/errcmp"
+)
+
+func TestErrcmp(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata"), errcmp.Analyzer, "./errcmp")
+}

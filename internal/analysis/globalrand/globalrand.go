@@ -1,0 +1,68 @@
+// Package globalrand forbids the process-global math/rand source.
+//
+// Invariant: every random draw in the repo comes from an explicitly
+// seeded generator — a *rand.Rand handed down from the run's seed, or
+// the splitmix64 streams the chaos injector derives.  The package-level
+// math/rand functions share one process-wide source: any draw from it
+// depends on what every other goroutine drew before, so two same-seed
+// runs diverge the moment goroutine interleaving differs.
+package globalrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"jsymphony/internal/analysis"
+)
+
+// constructors are the math/rand package functions that build a new
+// independent generator instead of touching the global source.
+var constructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+var randPkgs = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "globalrand",
+	Doc:  "forbids package-level math/rand functions (shared global source); require a seeded *rand.Rand or splitmix64 stream",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.TypesInfo.Uses[ident].(*types.PkgName)
+			if !ok || !randPkgs[pn.Imported().Path()] {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			if _, isFunc := obj.(*types.Func); !isFunc {
+				return true // a type (rand.Rand, rand.Source), not a draw
+			}
+			if constructors[sel.Sel.Name] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"%s.%s draws from the process-global rand source; thread a seeded *rand.Rand (or a splitmix64 stream) through instead",
+				ident.Name, sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,13 @@
+package globalrand_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"jsymphony/internal/analysis/analysistest"
+	"jsymphony/internal/analysis/globalrand"
+)
+
+func TestGlobalrand(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata"), globalrand.Analyzer, "./globalrand")
+}

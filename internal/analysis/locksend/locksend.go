@@ -1,0 +1,206 @@
+// Package locksend flags blocking communication performed while a
+// sync.Mutex or sync.RWMutex is held.
+//
+// The failure mode is the deadlock-under-retry class: proc A holds a
+// lock and performs a blocking channel send or a synchronous
+// Send/Invoke; the receiver (or the RMI retry path re-delivering into
+// the same object) needs that lock to drain the message.  Under fault
+// injection the retry path runs exactly when the system is wedged, so
+// these deadlocks surface as chaos-test timeouts that are miserable to
+// bisect.  The analysis is a conservative straight-line approximation:
+// it tracks Lock/Unlock pairs through nested blocks and branches and
+// flags sends on any path where a lock is still held.
+package locksend
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+
+	"jsymphony/internal/analysis"
+)
+
+// sendMethods are method names treated as blocking communication.
+var sendMethods = map[string]bool{
+	"Send":    true,
+	"Invoke":  true,
+	"SInvoke": true,
+	"AInvoke": true,
+	"OInvoke": true,
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "locksend",
+	Doc:  "flags channel sends and Send/Invoke calls made while holding a sync.Mutex/RWMutex (deadlock-under-retry class)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		// Every function body starts lock-free: FuncDecl bodies here,
+		// FuncLit bodies via the same Inspect (scan skips nested lits,
+		// so each is analyzed exactly once, with an empty held set —
+		// a literal defined under a lock usually runs elsewhere).
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					scan(pass, n.Body.List, map[string]bool{})
+				}
+			case *ast.FuncLit:
+				scan(pass, n.Body.List, map[string]bool{})
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// scan walks one statement list, updating the held-lock set and
+// reporting sends made while it is non-empty.
+func scan(pass *analysis.Pass, stmts []ast.Stmt, held map[string]bool) {
+	for _, stmt := range stmts {
+		if ls, ok := stmt.(*ast.LabeledStmt); ok {
+			stmt = ls.Stmt
+		}
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if key, lock, ok := mutexOp(pass, s.X); ok {
+				if lock {
+					held[key] = true
+				} else {
+					delete(held, key)
+				}
+				continue
+			}
+			reportSends(pass, s, held)
+		case *ast.DeferStmt:
+			if _, lock, ok := mutexOp(pass, s.Call); ok && !lock {
+				continue // defer Unlock: held until return, by design
+			}
+		case *ast.GoStmt:
+			// The spawned goroutine does not inherit the caller's locks.
+		case *ast.BlockStmt:
+			scan(pass, s.List, held)
+		case *ast.IfStmt:
+			reportSends(pass, s.Cond, held)
+			scan(pass, s.Body.List, copyHeld(held))
+			if s.Else != nil {
+				scan(pass, []ast.Stmt{s.Else}, copyHeld(held))
+			}
+		case *ast.ForStmt:
+			scan(pass, s.Body.List, held)
+		case *ast.RangeStmt:
+			scan(pass, s.Body.List, held)
+		case *ast.SwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					scan(pass, cc.Body, copyHeld(held))
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					scan(pass, cc.Body, copyHeld(held))
+				}
+			}
+		case *ast.SelectStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					reportSends(pass, cc, held)
+				}
+			}
+		default:
+			reportSends(pass, stmt, held)
+		}
+	}
+}
+
+// reportSends inspects one statement or expression (not descending
+// into function literals) for blocking communication under held locks.
+func reportSends(pass *analysis.Pass, n ast.Node, held map[string]bool) {
+	if len(held) == 0 || n == nil {
+		return
+	}
+	lock := heldName(held)
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(),
+				"channel send while holding %s: the receiver (or a retry redelivery) may need the same lock; release it before sending", lock)
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sendMethods[sel.Sel.Name] {
+				pass.Reportf(n.Pos(),
+					"%s call while holding %s: a blocking send/invoke under a mutex deadlocks when the remote or retry path needs the lock; release it first", sel.Sel.Name, lock)
+			}
+		}
+		return true
+	})
+}
+
+func heldName(held map[string]bool) string {
+	names := make([]string, 0, len(held))
+	for k := range held {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names[0]
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(held))
+	for k := range held {
+		out[k] = true
+	}
+	return out
+}
+
+// mutexOp recognizes x.Lock/RLock/Unlock/RUnlock on a sync mutex
+// (including one embedded in a struct) and returns the receiver's
+// rendering as the lock identity.
+func mutexOp(pass *analysis.Pass, e ast.Expr) (key string, lock, ok bool) {
+	call, isCall := e.(*ast.CallExpr)
+	if !isCall {
+		return "", false, false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		lock = true
+	case "Unlock", "RUnlock":
+		lock = false
+	default:
+		return "", false, false
+	}
+	if !isSyncMutexMethod(pass, sel) {
+		return "", false, false
+	}
+	return types.ExprString(sel.X), lock, true
+}
+
+func isSyncMutexMethod(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	if s := pass.TypesInfo.Selections[sel]; s != nil {
+		if fn, ok := s.Obj().(*types.Func); ok {
+			return fn.Pkg() != nil && fn.Pkg().Path() == "sync"
+		}
+	}
+	// Fallback: receiver type is sync.Mutex/RWMutex directly.
+	t := pass.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "sync" &&
+		(named.Obj().Name() == "Mutex" || named.Obj().Name() == "RWMutex")
+}

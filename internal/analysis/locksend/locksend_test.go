@@ -1,0 +1,13 @@
+package locksend_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"jsymphony/internal/analysis/analysistest"
+	"jsymphony/internal/analysis/locksend"
+)
+
+func TestLocksend(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata"), locksend.Analyzer, "./locksend")
+}

@@ -1,0 +1,226 @@
+// Package mapiter flags order-sensitive effects inside `range` over a
+// map.
+//
+// Go randomizes map iteration order per run.  A loop body that only
+// reads or writes the map is fine; a body that sends messages, invokes
+// remote methods, emits spans/metrics/events, or appends non-key
+// values to a slice that outlives the loop bakes the random order into
+// observable state — the class of bug that silently breaks the
+// byte-identical same-seed snapshot contract.
+//
+// Two idioms stay clean and are not flagged:
+//
+//	for k := range m { keys = append(keys, k) }   // collect keys ...
+//	sort.Strings(keys)                            // ... then sort
+//
+// (key-only appends are allowed), and appending arbitrary values is
+// allowed when the same slice is passed to a sort.* / slices.* call
+// later in the same block — the sort erases the iteration order.
+package mapiter
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"jsymphony/internal/analysis"
+)
+
+// emitMethods are method names whose call inside a map-range body makes
+// the iteration order observable: message sends, remote invokes, queue
+// puts, span/event emission, proc spawns.
+var emitMethods = map[string]bool{
+	"Send":    true,
+	"Emit":    true,
+	"Record":  true,
+	"Publish": true,
+	"Put":     true,
+	"Spawn":   true,
+	"Invoke":  true,
+	"SInvoke": true,
+	"AInvoke": true,
+	"OInvoke": true,
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "mapiter",
+	Doc:  "flags sends, invokes, emissions, and order-capturing appends inside range-over-map; iterate sorted keys instead",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				checkStmts(pass, n.List)
+			case *ast.CaseClause:
+				checkStmts(pass, n.Body)
+			case *ast.CommClause:
+				checkStmts(pass, n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkStmts scans one statement list for map ranges; the trailing
+// statements are the scope searched for an order-erasing sort call.
+func checkStmts(pass *analysis.Pass, stmts []ast.Stmt) {
+	for i, st := range stmts {
+		if ls, ok := st.(*ast.LabeledStmt); ok {
+			st = ls.Stmt
+		}
+		rs, ok := st.(*ast.RangeStmt)
+		if !ok {
+			continue
+		}
+		t := pass.TypeOf(rs.X)
+		if t == nil {
+			continue
+		}
+		if _, ok := t.Underlying().(*types.Map); !ok {
+			continue
+		}
+		checkMapRange(pass, rs, stmts[i+1:])
+	}
+}
+
+func checkMapRange(pass *analysis.Pass, rs *ast.RangeStmt, after []ast.Stmt) {
+	var keyObj types.Object
+	if id, ok := rs.Key.(*ast.Ident); ok {
+		if rs.Tok == token.DEFINE {
+			keyObj = pass.TypesInfo.Defs[id]
+		} else {
+			keyObj = pass.TypesInfo.Uses[id]
+		}
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(),
+				"channel send inside range over map: delivery order follows the randomized iteration order; iterate sorted keys instead")
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if ok && emitMethods[sel.Sel.Name] {
+				pass.Reportf(n.Pos(),
+					"%s call inside range over map happens in randomized iteration order; iterate sorted keys instead",
+					sel.Sel.Name)
+			}
+		case *ast.AssignStmt:
+			checkAppend(pass, n, rs, keyObj, after)
+		}
+		return true
+	})
+}
+
+// checkAppend flags `s = append(s, ...)` where s outlives the loop and
+// the appended values are not just the map key (and s is not sorted in
+// a following statement).
+func checkAppend(pass *analysis.Pass, asg *ast.AssignStmt, rs *ast.RangeStmt, keyObj types.Object, after []ast.Stmt) {
+	if asg.Tok != token.ASSIGN {
+		return // := defines a loop-local; it cannot outlive the iteration
+	}
+	for i, rhs := range asg.Rhs {
+		if i >= len(asg.Lhs) {
+			break
+		}
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok || fn.Name != "append" {
+			continue
+		}
+		if _, ok := pass.TypesInfo.Uses[fn].(*types.Builtin); !ok {
+			continue
+		}
+		// The destination must outlive the loop: a package/outer-scope
+		// variable or a struct field.
+		outer := false
+		var name string
+		switch lhs := asg.Lhs[i].(type) {
+		case *ast.Ident:
+			name = lhs.Name
+			if obj := pass.TypesInfo.Uses[lhs]; obj != nil {
+				outer = obj.Pos() < rs.Pos() || obj.Pos() > rs.End()
+			}
+		case *ast.SelectorExpr:
+			name = types.ExprString(lhs)
+			outer = true
+		}
+		if !outer {
+			continue
+		}
+		if keyOnlyArgs(pass, call, keyObj) {
+			continue // the sorted-keys collection idiom
+		}
+		if sortedAfter(pass, after, asg.Lhs[i]) {
+			continue // explicit sort after the loop erases the order
+		}
+		pass.Reportf(call.Pos(),
+			"append to %s inside range over map captures the randomized iteration order; collect keys and sort first, or sort %s after the loop",
+			name, name)
+	}
+}
+
+// keyOnlyArgs reports whether every appended value is exactly the
+// range key variable.
+func keyOnlyArgs(pass *analysis.Pass, call *ast.CallExpr, keyObj types.Object) bool {
+	if keyObj == nil || len(call.Args) < 2 || call.Ellipsis != token.NoPos {
+		return false
+	}
+	for _, arg := range call.Args[1:] {
+		id, ok := arg.(*ast.Ident)
+		if !ok || pass.TypesInfo.Uses[id] != keyObj {
+			return false
+		}
+	}
+	return true
+}
+
+// sortedAfter reports whether a later statement in the same block
+// passes the append target to a sort.* or slices.* call.
+func sortedAfter(pass *analysis.Pass, after []ast.Stmt, target ast.Expr) bool {
+	want := types.ExprString(target)
+	for _, st := range after {
+		es, ok := st.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		pn, ok := pass.TypesInfo.Uses[pkgID].(*types.PkgName)
+		if !ok {
+			continue
+		}
+		if p := pn.Imported().Path(); p != "sort" && p != "slices" {
+			continue
+		}
+		found := false
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(n ast.Node) bool {
+				if e, ok := n.(ast.Expr); ok && types.ExprString(e) == want {
+					found = true
+				}
+				return !found
+			})
+		}
+		if found {
+			return true
+		}
+	}
+	return false
+}

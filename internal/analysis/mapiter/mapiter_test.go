@@ -1,0 +1,13 @@
+package mapiter_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"jsymphony/internal/analysis/analysistest"
+	"jsymphony/internal/analysis/mapiter"
+)
+
+func TestMapiter(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata"), mapiter.Analyzer, "./mapiter")
+}

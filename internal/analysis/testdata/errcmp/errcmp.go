@@ -1,0 +1,52 @@
+// Fixtures for the errcmp analyzer: ==/!= and switch cases against
+// sentinel error variables are flagged; errors.Is and nil checks are
+// not.
+package errcmp
+
+import (
+	"errors"
+	"fmt"
+)
+
+var (
+	ErrTimeout = errors.New("timed out")
+	ErrClosed  = errors.New("closed")
+)
+
+func bad(err error) bool {
+	return err == ErrTimeout // want `ErrTimeout compared with ==`
+}
+
+func badNeq(err error) bool {
+	return err != ErrClosed // want `ErrClosed compared with !=`
+}
+
+func badSwitch(err error) string {
+	switch err {
+	case ErrTimeout: // want `switch case on sentinel ErrTimeout`
+		return "timeout"
+	default:
+		return "other"
+	}
+}
+
+// good is the required idiom: errors.Is survives wrapping.
+func good(err error) bool {
+	return errors.Is(err, ErrTimeout)
+}
+
+// goodNil: nil checks are not sentinel comparisons.
+func goodNil(err error) bool {
+	return err == nil
+}
+
+// goodLocal compares a locally produced error variable, not a
+// package-level sentinel.
+func goodLocal(err error) bool {
+	local := fmt.Errorf("x")
+	return err == local
+}
+
+func waived(err error) bool {
+	return err == ErrClosed //jsvet:allow errcmp fixture: err is never wrapped on this path
+}

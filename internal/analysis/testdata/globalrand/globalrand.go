@@ -1,0 +1,29 @@
+// Fixtures for the globalrand analyzer: package-level draws are
+// flagged, explicit constructors and seeded generators are not.
+package globalrand
+
+import "math/rand"
+
+func bad() int {
+	rand.Seed(42)        // want `rand\.Seed draws from the process-global`
+	return rand.Intn(10) // want `rand\.Intn draws from the process-global`
+}
+
+func badFloat() float64 { return rand.Float64() } // want `rand\.Float64 draws from the process-global`
+
+func badShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand\.Shuffle draws from the process-global`
+}
+
+// good threads an explicit seeded generator — the required idiom.
+func good(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// goodType references the types, not the global source.
+func goodType(rng *rand.Rand) rand.Source { return rand.NewSource(1) }
+
+func waived() int {
+	return rand.Int() //jsvet:allow globalrand fixture: non-sim utility
+}

@@ -1,0 +1,70 @@
+// Fixtures for the locksend analyzer: blocking communication under a
+// held sync mutex is flagged; release-first and literal-definition
+// patterns are not.
+package locksend
+
+import "sync"
+
+type machine struct{}
+
+func (machine) Send(v int) {}
+
+type server struct {
+	mu sync.Mutex
+	ch chan int
+	m  machine
+}
+
+func (s *server) badChannelSend(v int) {
+	s.mu.Lock()
+	s.ch <- v // want `channel send while holding s\.mu`
+	s.mu.Unlock()
+}
+
+func (s *server) badDeferred(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m.Send(v) // want `Send call while holding s\.mu`
+}
+
+func (s *server) badInBranch(v int) {
+	s.mu.Lock()
+	if v > 0 {
+		s.ch <- v // want `channel send while holding s\.mu`
+	}
+	s.mu.Unlock()
+}
+
+// goodReleaseFirst drops the lock before communicating.
+func (s *server) goodReleaseFirst(v int) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.ch <- v
+	s.m.Send(v)
+}
+
+// goodFuncLit only defines the closure under the lock; it runs after
+// the unlock.
+func (s *server) goodFuncLit(v int) {
+	s.mu.Lock()
+	f := func() { s.ch <- v }
+	s.mu.Unlock()
+	f()
+}
+
+func (s *server) waived(v int) {
+	s.mu.Lock()
+	s.ch <- v //jsvet:allow locksend fixture: buffered channel sized to capacity
+	s.mu.Unlock()
+}
+
+type rwserver struct {
+	mu sync.RWMutex
+	ch chan int
+}
+
+func (s *rwserver) badRLock(v int) {
+	s.mu.RLock()
+	s.ch <- v // want `channel send while holding s\.mu`
+	s.mu.RUnlock()
+}

@@ -1,0 +1,79 @@
+// Fixtures for the mapiter analyzer: order-sensitive effects inside
+// range-over-map are flagged; the sorted-keys and sort-after idioms
+// are not.
+package mapiter
+
+import "sort"
+
+type emitter struct{}
+
+func (emitter) Send(v int)   {}
+func (emitter) Emit(v int)   {}
+func (emitter) Record(v int) {}
+
+func badSend(m map[string]int, ch chan int) {
+	for _, v := range m {
+		ch <- v // want `channel send inside range over map`
+	}
+}
+
+func badEmit(m map[string]int, e emitter) {
+	for _, v := range m {
+		e.Emit(v) // want `Emit call inside range over map`
+	}
+}
+
+func badSendCall(m map[string]int, e emitter) {
+	for k := range m {
+		e.Send(len(k)) // want `Send call inside range over map`
+	}
+}
+
+func badAppend(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v) // want `append to out inside range over map`
+	}
+	return out
+}
+
+// goodSortedKeys is the canonical clean idiom: collect keys (key-only
+// append is allowed), sort, then iterate the slice.
+func goodSortedKeys(m map[string]int, e emitter) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		e.Emit(m[k])
+	}
+}
+
+// goodSortAfter appends values but sorts the slice in the same block,
+// erasing the iteration order.
+func goodSortAfter(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// goodLocalAppend defines the slice inside the loop — it cannot leak
+// iteration order out.
+func goodLocalAppend(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		grown := append(vs, 0)
+		n += len(grown)
+	}
+	return n
+}
+
+func waived(m map[string]int, ch chan int) {
+	for _, v := range m {
+		ch <- v //jsvet:allow mapiter fixture: single-key map by construction
+	}
+}

@@ -1,0 +1,40 @@
+// Fixtures for the walltime analyzer: wall-clock reads are flagged,
+// plain duration arithmetic and waived escape hatches are not.
+package walltime
+
+import "time"
+
+func bad() time.Duration {
+	t0 := time.Now()             // want `wall-clock time\.Now`
+	time.Sleep(time.Millisecond) // want `wall-clock time\.Sleep`
+	return time.Since(t0)        // want `wall-clock time\.Since`
+}
+
+func alsoBad() {
+	<-time.After(time.Second) // want `wall-clock time\.After`
+}
+
+func badTimer() *time.Timer {
+	return time.NewTimer(time.Second) // want `wall-clock time\.NewTimer`
+}
+
+// goodConstants uses time only for plain values — never flagged.
+func goodConstants() time.Duration {
+	d := 250 * time.Millisecond
+	return d + time.Second
+}
+
+// realOnly models the internal/sched escape hatch: the waiver in the
+// doc comment covers the whole function.
+//
+//jsvet:allow walltime fixture: real-scheduler escape hatch
+func realOnly() time.Time { return time.Now() }
+
+func inlineWaiver() {
+	time.Sleep(time.Millisecond) //jsvet:allow walltime fixture: inline waiver
+}
+
+func lineAboveWaiver() {
+	//jsvet:allow walltime fixture: waiver on the line above
+	time.Sleep(time.Millisecond)
+}

@@ -1,0 +1,66 @@
+// Package walltime forbids reading the wall clock in simulation code.
+//
+// Invariant: all time in the runtime stack flows through sched.Sched
+// (virtual time under vclock, wall time only inside the real-scheduler
+// implementation).  A stray time.Now or time.Sleep in sim code makes
+// same-seed runs diverge — the byte-identical snapshot contract of the
+// figure 5 / chaos / replica experiments silently breaks.
+//
+// The real-time half of internal/sched is the one legitimate consumer;
+// its functions carry //jsvet:allow walltime waivers in their doc
+// comments.
+package walltime
+
+import (
+	"go/ast"
+	"go/types"
+
+	"jsymphony/internal/analysis"
+)
+
+// banned are the time package functions that observe or schedule on
+// the wall clock.  Constructors of plain values (time.Duration,
+// time.Date, time.Unix) are fine: they do not read the clock.
+var banned = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "walltime",
+	Doc:  "forbids wall-clock time (time.Now, time.Sleep, ...) outside the real-scheduler escape hatch in internal/sched",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.TypesInfo.Uses[ident].(*types.PkgName)
+			if !ok || pn.Imported().Path() != "time" {
+				return true
+			}
+			if banned[sel.Sel.Name] {
+				pass.Reportf(sel.Pos(),
+					"wall-clock time.%s is nondeterministic under simulation; use the sched.Sched clock, or waive with //jsvet:allow walltime <reason> if this code only ever runs on the real scheduler",
+					sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,13 @@
+package walltime_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"jsymphony/internal/analysis/analysistest"
+	"jsymphony/internal/analysis/walltime"
+)
+
+func TestWalltime(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata"), walltime.Analyzer, "./walltime")
+}

@@ -1,0 +1,169 @@
+// Determinism regression for the replication subsystem (PR 3),
+// extending the PR 2 chaos determinism contract: a replicated store
+// driven through replica placement, nearest-replica reads, strong-mode
+// write fan-out, a primary crash, and freshest-survivor promotion must
+// be a pure function of (spec, seed).  Two identically-seeded runs
+// must leave byte-identical metrics snapshots, trace logs, and span
+// logs.  Any map-iteration, wall-clock, or global-rand dependence on a
+// replica code path — exactly the classes cmd/jsvet enforces
+// statically — breaks this test dynamically.
+package chaos_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"jsymphony"
+	"jsymphony/workloads/kv"
+)
+
+// replicaRunArtifacts runs one seeded replicated-store scenario — a
+// strong-mode 2-replica kv.Store absorbing a write stream and serving
+// reads from every node while the injector crashes the primary — and
+// renders all observable state.
+func replicaRunArtifacts(t *testing.T, seed int64) (metricsJSON, traceLog, spanLog string) {
+	t.Helper()
+	spec, err := jsymphony.ParseChaos("crash:node01@1.1s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := chaosEnv(t, spec, seed)
+	env.RunMain("", func(js *jsymphony.JS) {
+		js.EnableRecovery(150 * time.Millisecond)
+
+		cb := js.NewCodebase()
+		if err := cb.Add(kv.StoreClass); err != nil {
+			t.Errorf("seed %d: add class: %v", seed, err)
+			return
+		}
+		if err := cb.Add(kv.ReaderClass); err != nil {
+			t.Errorf("seed %d: add reader class: %v", seed, err)
+			return
+		}
+		if err := cb.LoadNodes(env.Nodes()...); err != nil {
+			t.Errorf("seed %d: load codebase: %v", seed, err)
+			return
+		}
+		home, err := js.NewNamedNode("node01")
+		if err != nil {
+			t.Errorf("seed %d: pin node: %v", seed, err)
+			return
+		}
+		store, err := js.NewObject(kv.StoreClass, home, nil)
+		if err != nil {
+			t.Errorf("seed %d: new store: %v", seed, err)
+			return
+		}
+		if _, err := store.SInvoke("Init", 0.0); err != nil {
+			t.Errorf("seed %d: init store: %v", seed, err)
+			return
+		}
+		if _, err := store.SInvoke("Put", "hot", 1); err != nil {
+			t.Errorf("seed %d: seed key: %v", seed, err)
+			return
+		}
+		if err := store.Replicate(jsymphony.ReplicaPolicy{
+			N: 2, Mode: jsymphony.ReplicaStrong, Reads: kv.ReadMethods(),
+		}); err != nil {
+			t.Errorf("seed %d: replicate: %v", seed, err)
+			return
+		}
+		ref, err := store.Ref()
+		if err != nil {
+			t.Errorf("seed %d: ref: %v", seed, err)
+			return
+		}
+
+		// One reader per node hammers the replicated key while the
+		// writer increments through the crash window.
+		readers := make([]*jsymphony.ResultHandle, 0, len(env.Nodes()))
+		for _, node := range env.Nodes() {
+			vn, err := js.NewNamedNode(node)
+			if err != nil {
+				t.Errorf("seed %d: node %s: %v", seed, node, err)
+				return
+			}
+			r, err := js.NewObject(kv.ReaderClass, vn, nil)
+			if err != nil {
+				t.Errorf("seed %d: reader on %s: %v", seed, node, err)
+				return
+			}
+			h, err := r.AInvoke("Run", ref, "hot", 20)
+			if err != nil {
+				t.Errorf("seed %d: reader run: %v", seed, err)
+				return
+			}
+			readers = append(readers, h)
+		}
+		for i := 0; i < 20; i++ {
+			js.Sleep(60 * time.Millisecond)
+			if _, err := store.SInvoke("Add", "count", 1); err != nil {
+				t.Errorf("seed %d: write %d: %v", seed, i, err)
+				return
+			}
+		}
+		for _, h := range readers {
+			if _, err := h.Result(); err != nil {
+				t.Errorf("seed %d: reader result: %v", seed, err)
+				return
+			}
+		}
+	})
+
+	var mb strings.Builder
+	if err := env.World().Metrics().Snapshot().WriteJSON(&mb); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, s := range env.World().Spans().Spans() {
+		sb.WriteString(s.String())
+		sb.WriteByte('\n')
+	}
+	return mb.String(), env.World().Trace().String(), sb.String()
+}
+
+// TestReplicaDeterminism runs the replica experiment twice per seed and
+// asserts byte-identical artifacts.
+func TestReplicaDeterminism(t *testing.T) {
+	for _, seed := range harnessSeeds(t) {
+		m1, t1, s1 := replicaRunArtifacts(t, seed)
+		m2, t2, s2 := replicaRunArtifacts(t, seed)
+		if t.Failed() {
+			t.Fatalf("seed %d: run errors above — determinism comparison skipped", seed)
+		}
+		for _, pair := range []struct {
+			what string
+			a, b string
+		}{
+			{"metrics snapshot", m1, m2},
+			{"trace log", t1, t2},
+			{"span log", s1, s2},
+		} {
+			if pair.a != pair.b {
+				t.Errorf("seed %d: %s differs between identically-seeded replica runs:\n%s",
+					seed, pair.what, firstDiff(pair.a, pair.b))
+			}
+		}
+		if strings.TrimSpace(m1) == "" || strings.TrimSpace(t1) == "" || strings.TrimSpace(s1) == "" {
+			t.Fatalf("seed %d: empty artifacts — the replica run produced nothing to compare", seed)
+		}
+		// The run must actually exercise the subsystem under test.
+		for _, want := range []string{"js_replica_read_hits_total", "js_replica_promotions_total"} {
+			if !strings.Contains(m1, want) {
+				t.Errorf("seed %d: metrics snapshot lacks %s — replica paths not exercised\n%s",
+					seed, want, firstLines(m1, 20))
+			}
+		}
+	}
+}
+
+// firstLines truncates a rendering for error messages.
+func firstLines(s string, n int) string {
+	lines := strings.Split(s, "\n")
+	if len(lines) > n {
+		lines = append(lines[:n], fmt.Sprintf("... (%d more lines)", len(lines)-n))
+	}
+	return strings.Join(lines, "\n")
+}

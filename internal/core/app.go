@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"sync"
@@ -134,9 +135,17 @@ func (a *App) Unregister(p sched.Proc) {
 	a.done = true
 	a.autoGen++ // stops the auto-migration engine
 	a.ckptGen++ // stops the checkpoint engine
-	objs := make([]*objEntry, 0, len(a.objs))
-	for _, e := range a.objs {
-		objs = append(objs, e)
+	// Free in ascending object-id order: freeEntry emits trace events
+	// and teardown RMIs, so map iteration order would leak into the
+	// deterministic event stream.
+	ids := make([]uint64, 0, len(a.objs))
+	for id := range a.objs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	objs := make([]*objEntry, 0, len(ids))
+	for _, id := range ids {
+		objs = append(objs, a.objs[id])
 	}
 	vas := append([]*appVA(nil), a.vas...)
 	a.mu.Unlock()

@@ -114,12 +114,20 @@ func (a *App) violatedNodes(p sched.Proc, d *virtarch.Domain, constr *params.Con
 // to the nearest satisfying node: same cluster, then same site, then the
 // whole domain (§5.2's locality-preserving search order).
 func (a *App) evacuate(p sched.Proc, va *appVA, constr *params.Constraints, violated map[string]bool) {
+	// Evacuate in ascending object-id order: each migration emits
+	// events and can shift the load findRefuge sees for the next one,
+	// so map iteration order would make same-seed runs diverge.
 	a.mu.Lock()
-	entries := make([]*objEntry, 0, len(a.objs))
-	for _, e := range a.objs {
+	ids := make([]uint64, 0, len(a.objs))
+	for id, e := range a.objs {
 		if !e.freed && violated[e.location] {
-			entries = append(entries, e)
+			ids = append(ids, id)
 		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	entries := make([]*objEntry, 0, len(ids))
+	for _, id := range ids {
+		entries = append(entries, a.objs[id])
 	}
 	a.mu.Unlock()
 

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"sync"
@@ -525,5 +526,8 @@ func (a *App) Objects() []*Object {
 			out = append(out, &Object{app: a, id: id})
 		}
 	}
+	// The handle list is a caller-visible snapshot (shell listings,
+	// experiment sweeps); sort so it does not leak map order.
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
 	return out
 }

@@ -2,6 +2,7 @@ package nas
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"jsymphony/internal/params"
@@ -125,19 +126,46 @@ func NewHierarchy(agents map[string]*Agent, topo Topology, cfg Config, notify fu
 	return h
 }
 
-// Start spawns every manager process.
+// Start spawns every manager process, in sorted component order so the
+// proc registration sequence is a pure function of the topology.
 func (h *Hierarchy) Start() {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	for sc, mgr := range h.clusterMgr {
-		h.spawnClusterLocked(sc[0], sc[1], mgr)
+	for _, sc := range sortedClusterKeys(h.clusterMgr) {
+		h.spawnClusterLocked(sc[0], sc[1], h.clusterMgr[sc])
 	}
-	for s, mgr := range h.siteMgr {
-		h.spawnSiteLocked(s, mgr)
+	for _, s := range sortedSiteKeys(h.siteMgr) {
+		h.spawnSiteLocked(s, h.siteMgr[s])
 	}
 	if h.domainMgr != "" {
 		h.spawnDomainLocked(h.domainMgr)
 	}
+}
+
+// sortedClusterKeys returns the cluster-manager map's keys in
+// (site, cluster) order.
+func sortedClusterKeys(m map[[2]int]string) [][2]int {
+	keys := make([][2]int, 0, len(m))
+	for sc := range m {
+		keys = append(keys, sc)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	return keys
+}
+
+// sortedSiteKeys returns the site-manager map's keys in ascending order.
+func sortedSiteKeys(m map[int]string) []int {
+	keys := make([]int, 0, len(m))
+	for s := range m {
+		keys = append(keys, s)
+	}
+	sort.Ints(keys)
+	return keys
 }
 
 // Stop retires all manager processes at their next tick.
@@ -470,8 +498,12 @@ func (h *Hierarchy) reassignLocked(node string, failed bool) []Event {
 	if !found {
 		return nil // already handled by a concurrent detection
 	}
-	// Re-elect any role the node held.
-	for sc, mgr := range h.clusterMgr {
+	// Re-elect any role the node held.  Iterate both manager maps in
+	// sorted key order: re-election mutates generations, spawns manager
+	// procs, and appends events, all of which must not depend on map
+	// iteration order.
+	for _, sc := range sortedClusterKeys(h.clusterMgr) {
+		mgr := h.clusterMgr[sc]
 		if mgr != node {
 			continue
 		}
@@ -488,7 +520,8 @@ func (h *Hierarchy) reassignLocked(node string, failed bool) []Event {
 		h.spawnClusterLocked(s, c, next)
 		evs = append(evs, Event{Kind: EventManagerChanged, Component: key, Node: next, Old: node})
 	}
-	for s, mgr := range h.siteMgr {
+	for _, s := range sortedSiteKeys(h.siteMgr) {
+		mgr := h.siteMgr[s]
 		if mgr != node {
 			continue
 		}

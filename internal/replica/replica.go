@@ -40,6 +40,16 @@ const (
 	// Replicas serve reads immediately; the staleness bound (time since
 	// the state a replica serves left the primary) is surfaced on every
 	// read in the invocation span.
+	//
+	// Ack contract: an eventual-mode write is acknowledged after it
+	// executes on the primary only — propagation to the replicas is
+	// fire-and-forget.  If the primary crashes inside the staleness
+	// window (after the ack, before any replica received the update),
+	// the promoted survivor has never seen the write and it is dropped
+	// from every surviving copy.  An acked write is durable against a
+	// primary crash only under Strong, which propagates synchronously
+	// to all replicas before acknowledging.  Choose Eventual only when
+	// losing the tail of acked writes on a crash is acceptable.
 	Eventual Mode = "eventual"
 )
 
@@ -54,6 +64,12 @@ const DefaultLease = 250 * time.Millisecond
 
 // Policy declares how an object is replicated.  The zero value means
 // "not replicated".
+//
+// The Mode choice fixes the write-acknowledgement contract: Strong
+// acks a write only after every replica has applied it (no acked write
+// is lost to a primary crash); Eventual acks after primary execution
+// alone, so a crash inside the staleness window can drop an acked
+// write from every surviving copy — see the Mode constants.
 type Policy struct {
 	N     int           // number of read replicas (besides the primary)
 	Mode  Mode          // Strong or Eventual

@@ -134,6 +134,16 @@ type realSched struct{ epoch time.Time }
 type realProc struct{ s *realSched }
 
 // Real returns a Sched running in real time.
+//
+// This function and the realSched/realProc/realQueue methods below are
+// the repository's only legitimate consumers of the wall clock: they
+// ARE the real-time scheduler, the thing the walltime invariant says
+// everything else must go through.  Code that runs under simulation
+// never reaches them (Virtual() schedulers route to vclock), so the
+// jsvet waivers here cannot mask a determinism bug — any other
+// time.Now/time.Sleep in the build graph is a finding.
+//
+//jsvet:allow walltime the real scheduler is the wall-clock escape hatch
 func Real() Sched { return &realSched{epoch: time.Now()} }
 
 func (s *realSched) Spawn(name string, fn func(Proc)) {
@@ -141,13 +151,21 @@ func (s *realSched) Spawn(name string, fn func(Proc)) {
 }
 
 func (s *realSched) NewQueue(name string) Queue { return newRealQueue() }
-func (s *realSched) Now() time.Duration         { return time.Since(s.epoch) }
-func (s *realSched) Virtual() bool              { return false }
+
+// Now reports wall time since the scheduler epoch.
+//
+//jsvet:allow walltime real scheduler: wall time is its clock
+func (s *realSched) Now() time.Duration { return time.Since(s.epoch) }
+
+func (s *realSched) Virtual() bool { return false }
 
 // RealProc returns a Proc for the calling goroutine under a real
 // scheduler.  It panics if s is not real.
 func RealProc(s Sched) Proc { return &realProc{s: s.(*realSched)} }
 
+// Sleep blocks the goroutine on the wall clock.
+//
+//jsvet:allow walltime real scheduler: sleeping is its job
 func (p *realProc) Sleep(d time.Duration) {
 	if d > 0 {
 		time.Sleep(d)
@@ -158,6 +176,9 @@ func (p *realProc) Recv(q Queue) (any, bool) {
 	return q.(*realQueue).recv(nil)
 }
 
+// RecvTimeout arms a wall-clock timer for the deadline.
+//
+//jsvet:allow walltime real scheduler: deadlines ride the wall clock
 func (p *realProc) RecvTimeout(q Queue, d time.Duration) (any, bool) {
 	if d < 0 {
 		d = 0
@@ -183,6 +204,9 @@ func newRealQueue() *realQueue {
 	return &realQueue{notify: make(chan struct{}, 1)}
 }
 
+// Put delivers immediately or after a wall-clock delay.
+//
+//jsvet:allow walltime real scheduler: delayed delivery uses real timers
 func (q *realQueue) Put(v any, delay time.Duration) {
 	if delay > 0 {
 		time.AfterFunc(delay, func() { q.deliver(v) })

@@ -245,6 +245,14 @@ func (o *Object) Migrate(where Component, constr *Constraints) error {
 // writes keep going to the primary and propagate per the policy's mode,
 // and a primary failure promotes the freshest surviving replica under
 // the same handle.  Re-replicating replaces the existing set.
+//
+// The mode fixes what a write acknowledgement means.  ReplicaStrong
+// acks only after every replica applied the write: no acked write is
+// lost to a primary crash (promotion elects a copy that has it).
+// ReplicaEventual acks after the primary alone executed it; if the
+// primary crashes before the asynchronous update reaches any replica,
+// that acked write is gone from every surviving copy.  Applications
+// that cannot afford to lose acked writes must use ReplicaStrong.
 func (o *Object) Replicate(pol ReplicaPolicy) error {
 	return o.o.Replicate(o.js.p, pol)
 }
