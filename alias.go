@@ -135,6 +135,18 @@ type (
 	ReplicaSetInfo = core.ReplicaSetInfo
 )
 
+// Shard groups (key-space partitioning over replica sets; see
+// internal/shard and DESIGN.md §10).
+type (
+	// ShardSpec declares a shard group: how many shards, ring density,
+	// per-shard replication, and the class's handoff protocol methods.
+	ShardSpec = core.ShardSpec
+	// ShardInfo describes one shard's placement and replica set.
+	ShardInfo = core.ShardInfo
+	// ShardGroupInfo snapshots a whole group.
+	ShardGroupInfo = core.ShardGroupInfo
+)
+
 // Replication modes.
 const (
 	// ReplicaStrong propagates writes synchronously and serves replica

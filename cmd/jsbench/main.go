@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "fig5", "experiment to run (fig5, mandel, automigrate, recovery, replica)")
+	experiment := flag.String("experiment", "fig5", "experiment to run (fig5, mandel, automigrate, recovery, replica, shard)")
 	sizes := flag.String("sizes", "200,400,600,800", "comma-separated problem sizes")
 	maxNodes := flag.Int("maxnodes", 13, "sweep node counts 1..maxnodes")
 	seed := flag.Int64("seed", 1, "simulation seed")
@@ -43,6 +43,8 @@ func main() {
 		runRecovery(*seed)
 	case "replica":
 		runReplica(*seed, *out)
+	case "shard":
+		runShard(*seed, *out)
 	default:
 		fmt.Fprintf(os.Stderr, "jsbench: unknown experiment %q\n", *experiment)
 		os.Exit(2)
@@ -84,6 +86,37 @@ func runReplica(seed int64, out string) {
 	}
 	fmt.Println()
 	lines, ok := experiments.ReplicaReport(res)
+	fmt.Println("Subsystem claims:")
+	for _, l := range lines {
+		fmt.Println("  " + l)
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func runShard(seed int64, out string) {
+	fmt.Println("Shard — consistent-hash key-space partitioning (internal/shard)")
+	fmt.Println("(write throughput by shard count; batched control-plane RMI)")
+	fmt.Println()
+	cfg := experiments.ShardConfig{Seed: seed}
+	res := experiments.Shard(cfg)
+	experiments.WriteShard(os.Stdout, res)
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jsbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := experiments.WriteShardJSON(f, res); err != nil {
+			fmt.Fprintf(os.Stderr, "jsbench: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("result written to %s\n", out)
+	}
+	fmt.Println()
+	lines, ok := experiments.ShardReport(res)
 	fmt.Println("Subsystem claims:")
 	for _, l := range lines {
 		fmt.Println("  " + l)

@@ -26,17 +26,18 @@ type App struct {
 	rt    *Runtime
 	id    string
 
-	mu         sync.Mutex
-	seq        uint64
-	objs       map[uint64]*objEntry
-	vas        []*appVA
-	done       bool
-	autoPeriod time.Duration
-	autoGen    int
-	ckptPeriod time.Duration
-	ckptGen    int
-	recovering map[string]bool // dead nodes with a recovery pass in flight
-	authOn     bool            // write-authority renewal proc started
+	mu          sync.Mutex
+	seq         uint64
+	objs        map[uint64]*objEntry
+	vas         []*appVA
+	done        bool
+	autoPeriod  time.Duration
+	autoGen     int
+	ckptPeriod  time.Duration
+	ckptGen     int
+	recovering  map[string]bool // dead nodes with a recovery pass in flight
+	authOn      bool            // write-authority renewal proc started
+	shardGroups map[string]*ShardGroup
 }
 
 // objEntry is one local-objects-table row.
@@ -56,6 +57,12 @@ type objEntry struct {
 	// while a survivor election fences the old primary against it.
 	authHorizon time.Duration
 	promoting   bool
+	// fenced lists nodes that still (may) host a deposed primary lineage
+	// of this object — a promotion replaced the primary there while it
+	// was unreachable.  A crash wipes the zombie with the node, but a
+	// partitioned node keeps it; the post-heal cleanup (cleanupZombies)
+	// tears those down when the detector reports the node recovered.
+	fenced []string
 }
 
 // rset builds the entry's advertised replica set.  Caller holds a.mu.
@@ -93,10 +100,11 @@ func (w *World) Register(homeNode string) (*App, error) {
 	w.mu.Unlock()
 
 	a := &App{
-		world: w,
-		rt:    rt,
-		id:    id,
-		objs:  make(map[uint64]*objEntry),
+		world:       w,
+		rt:          rt,
+		id:          id,
+		objs:        make(map[uint64]*objEntry),
+		shardGroups: make(map[string]*ShardGroup),
 	}
 	rt.st.Register("oas.app:"+id, a.handle)
 

@@ -132,7 +132,17 @@ func (a *App) evacuate(p sched.Proc, va *appVA, constr *params.Constraints, viol
 	a.mu.Unlock()
 
 	for _, e := range entries {
-		dest, ok := a.findRefuge(p, va.domain, e.location, constr, violated)
+		// Replica anti-affinity: never migrate a primary onto a node
+		// already hosting one of its replica-set members — the set would
+		// lose a fault domain, and the member's replica-role state would
+		// collide with the arriving primary.
+		avoid := map[string]bool{}
+		a.mu.Lock()
+		for _, n := range e.replicas {
+			avoid[n] = true
+		}
+		a.mu.Unlock()
+		dest, ok := a.findRefuge(p, va.domain, e.location, constr, violated, avoid)
 		if !ok {
 			continue // nowhere satisfies; better to stay than thrash
 		}
@@ -140,8 +150,9 @@ func (a *App) evacuate(p sched.Proc, va *appVA, constr *params.Constraints, viol
 	}
 }
 
-// findRefuge picks the locality-nearest node satisfying constr.
-func (a *App) findRefuge(p sched.Proc, d *virtarch.Domain, from string, constr *params.Constraints, violated map[string]bool) (string, bool) {
+// findRefuge picks the locality-nearest node satisfying constr and not
+// in avoid (the entry's replica-set members).
+func (a *App) findRefuge(p sched.Proc, d *virtarch.Domain, from string, constr *params.Constraints, violated, avoid map[string]bool) (string, bool) {
 	var sameCluster, sameSite, anywhere []string
 	for _, site := range d.Sites() {
 		siteHasFrom := false
@@ -168,7 +179,7 @@ func (a *App) findRefuge(p sched.Proc, d *virtarch.Domain, from string, constr *
 	for _, scope := range [][]string{sameCluster, sameSite, anywhere} {
 		var cands []string
 		for _, n := range scope {
-			if n != from && !violated[n] {
+			if n != from && !violated[n] && !avoid[n] {
 				cands = append(cands, n)
 			}
 		}

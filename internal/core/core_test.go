@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -45,11 +46,64 @@ func (c *Counter) CallOther(ctx *Ctx, other Ref, x int) (int, error) {
 	return res.(int), nil
 }
 
+// Table is the shardable test class: a keyed map implementing the
+// shard-group handoff trio (Keys/Extract/Install).
+type Table struct {
+	Data map[string]int
+}
+
+func (t *Table) Put(k string, v int) {
+	if t.Data == nil {
+		t.Data = make(map[string]int)
+	}
+	t.Data[k] = v
+}
+
+func (t *Table) Get(k string) int { return t.Data[k] }
+func (t *Table) Len() int         { return len(t.Data) }
+
+// SlowGet stalls before reading, so concurrent identical reads overlap
+// and exercise the shard router's singleflight path.
+func (t *Table) SlowGet(ctx *Ctx, k string) int {
+	ctx.P.Sleep(20 * time.Millisecond)
+	return t.Data[k]
+}
+
+func (t *Table) Keys() []string {
+	out := make([]string, 0, len(t.Data))
+	for k := range t.Data {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (t *Table) Extract(keys []string) map[string]int {
+	out := make(map[string]int, len(keys))
+	for _, k := range keys {
+		if v, ok := t.Data[k]; ok {
+			out[k] = v
+			delete(t.Data, k)
+		}
+	}
+	return out
+}
+
+func (t *Table) Install(data map[string]int) {
+	if t.Data == nil {
+		t.Data = make(map[string]int)
+	}
+	for k, v := range data {
+		t.Data[k] = v
+	}
+}
+
 // testRegistry builds a fresh registry so tests do not pollute Default.
 func testRegistry() *codebase.Registry {
 	r := codebase.NewRegistry()
 	r.Register("Counter", 4096, func() any { return &Counter{} })
 	r.Register("Heavy", 1<<20, func() any { return &Counter{} })
+	r.Register("Table", 4096, func() any { return &Table{} })
 	return r
 }
 

@@ -167,7 +167,7 @@ func (o *Object) Node(p sched.Proc) (*virtarch.Node, error) {
 
 // SInvoke is the synchronous (blocking) method invocation of §4.5.
 func (o *Object) SInvoke(p sched.Proc, method string, args ...any) (any, error) {
-	return o.app.invokeObject(p, o.id, method, args, trace.SpanSync)
+	return o.app.invokeObject(p, o.id, method, args, trace.SpanSync, "")
 }
 
 // AInvoke is the asynchronous invocation of §4.5: it returns immediately
@@ -180,7 +180,7 @@ func (o *Object) AInvoke(p sched.Proc, method string, args ...any) (*Handle, err
 	// "One thread for every asynchronous method invocation in order to
 	// overcome blocking Java/RMI" (§5.2).
 	o.app.world.s.Spawn(fmt.Sprintf("ainvoke:%s/%d.%s", o.app.id, o.id, method), func(wp sched.Proc) {
-		res, err := o.app.invokeObject(wp, o.id, method, args, trace.SpanAsync)
+		res, err := o.app.invokeObject(wp, o.id, method, args, trace.SpanAsync, "")
 		h.deliver(res, err)
 	})
 	return h, nil
@@ -216,12 +216,13 @@ func (o *Object) OInvoke(p sched.Proc, method string, args ...any) error {
 // invokeTimeout, like any other invocation.  The whole operation is
 // recorded as one span of the given kind; retries and backoff show up as
 // queue time.
-func (a *App) invokeObject(p sched.Proc, id uint64, method string, args []any, kind trace.SpanKind) (any, error) {
+func (a *App) invokeObject(p sched.Proc, id uint64, method string, args []any, kind trace.SpanKind, shard string) (any, error) {
 	first, err := a.entry(id)
 	if err != nil {
 		return nil, err
 	}
 	sr := a.rt.beginSpan(0, kind, first.ref, method)
+	sr.span.Shard = shard
 	var lastErr error
 	var loc string
 	var avoid map[string]bool // replica members that deflected or timed out
@@ -407,7 +408,12 @@ func (o *Object) Migrate(p sched.Proc, comp virtarch.Component, constr *params.C
 		if eff == nil {
 			eff = a.world.DefaultConstraints()
 		}
-		opts := nas.SelectOpts{N: 1, Constr: eff, Exclude: []string{e.location}, Reserve: false}
+		// Exclude the current host and, for a replicated object, its
+		// replica-set members (anti-affinity — see evacuate).
+		a.mu.Lock()
+		excl := append([]string{e.location}, e.replicas...)
+		a.mu.Unlock()
+		opts := nas.SelectOpts{N: 1, Constr: eff, Exclude: excl, Reserve: false}
 		if comp != nil {
 			opts.Among = comp.NodeNames()
 		}

@@ -50,6 +50,7 @@ type replState struct {
 	fan       *procLock       // serializes writes + propagation (primary side)
 	reads     map[string]bool // declared read-only methods
 	authUntil time.Duration   // write authority granted by the origin AppOA
+	minSync   int             // eventual mode: peers updated synchronously per write
 
 	// Both roles.
 	version uint64 // monotonic update counter; survives promotion
@@ -65,7 +66,7 @@ func (rs *replState) policySnapshot() *replica.Policy {
 		reads = append(reads, m)
 	}
 	sort.Strings(reads)
-	return &replica.Policy{N: len(rs.peers), Mode: rs.mode, Lease: rs.lease, Reads: reads}
+	return &replica.Policy{N: len(rs.peers), Mode: rs.mode, Lease: rs.lease, Reads: reads, MinSync: rs.minSync}
 }
 
 // setSnapshot renders the primary-side state as a wire Set.  Caller
@@ -117,6 +118,7 @@ func (rt *Runtime) replicaConfigure(req replicaConfigureReq) error {
 	rs.mode = req.Mode
 	rs.lease = req.Lease
 	rs.authUntil = req.AuthUntil
+	rs.minSync = req.MinSync
 	rs.reads = make(map[string]bool, len(req.Reads))
 	for _, m := range req.Reads {
 		rs.reads[m] = true
@@ -139,6 +141,28 @@ func (rt *Runtime) replicaAuthRenew(req replicaAuthRenewReq) error {
 		h.repl.authUntil = req.Until
 	}
 	return nil
+}
+
+// replicaAuthBatch applies a per-node batch of authority grants in one
+// RMI (the renewer's "per-node grant batching").  Items are applied in
+// batch order; per-item failures (an object no longer primary here) are
+// counted, not propagated — renewal has always been best-effort, and a
+// moved object simply stops being renewed on this node.  Returns how
+// many grants took effect.
+func (rt *Runtime) replicaAuthBatch(b rmi.Batch) (int, error) {
+	applied := 0
+	for i := 0; i < b.Len(); i++ {
+		var req replicaAuthRenewReq
+		if err := b.Decode(i, &req); err != nil {
+			return applied, fmt.Errorf("oas: decode auth batch item %d: %w", i, err)
+		}
+		if err := rt.replicaAuthRenew(req); err != nil {
+			rt.world.reg.Counter("js_replica_auth_batch_misses_total").Inc()
+			continue
+		}
+		applied++
+	}
+	return applied, nil
 }
 
 // authorityLapsed reports whether a primary-role copy has outlived its
@@ -375,13 +399,17 @@ func (rt *Runtime) renewLease(p sched.Proc, h *hostedObj) error {
 }
 
 // propagate ships the primary's post-write state to every peer and
-// reports how many accepted it.  Called with the fan lock held, so
-// version order equals state order.  Strong mode fans out synchronously
-// over the exactly-once rmi path and drops a peer that stays unreachable
-// through the retry policy (the failure detector triggers the AppOA's
-// repair); eventual mode posts one-way updates and lets version ordering
-// absorb loss and reordering.
-func (rt *Runtime) propagate(p sched.Proc, h *hostedObj, rs *replState) int {
+// reports how many accepted it, and how many of those acceptances were
+// synchronous.  Called with the fan lock held, so version order equals
+// state order.  Strong mode fans out synchronously over the
+// exactly-once rmi path and drops a peer that stays unreachable through
+// the retry policy (the failure detector triggers the AppOA's repair);
+// eventual mode posts one-way updates and lets version ordering absorb
+// loss and reordering.  Under Eventual with MinSync: k, the fan-out
+// walks the sorted peers and uses the synchronous path until k have
+// confirmed (unreachable peers are dropped and the walk continues), so
+// the ack implies k durable copies; the rest get the one-way post.
+func (rt *Runtime) propagate(p sched.Proc, h *hostedObj, rs *replState) (delivered, syncDelivered int) {
 	rt.mu.Lock()
 	inst := h.instance
 	rt.mu.Unlock()
@@ -389,7 +417,7 @@ func (rt *Runtime) propagate(p sched.Proc, h *hostedObj, rs *replState) int {
 	if err != nil {
 		rt.world.emit(trace.Event{Kind: trace.ReplicaDropped, Node: rt.Node(),
 			App: h.ref.App, Obj: h.ref.ID, Detail: "serialize: " + err.Error()})
-		return 0
+		return 0, 0
 	}
 	rt.mu.Lock()
 	rs.version++
@@ -401,16 +429,20 @@ func (rt *Runtime) propagate(p sched.Proc, h *hostedObj, rs *replState) int {
 	}
 	peers := append([]string(nil), rs.peers...)
 	mode := rs.mode
+	needSync := len(peers)
+	if mode == replica.Eventual {
+		needSync = rs.minSync
+	}
 	rt.mu.Unlock()
 	body := rmi.MustMarshal(req)
 	updates := rt.world.reg.Counter(metrics.Label("js_replica_updates_total", "mode", string(mode)))
-	delivered := 0
 	for _, peer := range peers {
-		if mode == replica.Strong {
+		if syncDelivered < needSync {
 			if _, err := rt.st.Call(p, peer, PubService, "replicaUpdate", body, replicaCallTimeout); err != nil {
 				rt.dropPeer(h, rs, peer, err)
 				continue
 			}
+			syncDelivered++
 		} else {
 			if err := rt.st.Post(p, peer, PubService, "replicaUpdate", body); err != nil {
 				continue
@@ -419,14 +451,14 @@ func (rt *Runtime) propagate(p sched.Proc, h *hostedObj, rs *replState) int {
 		delivered++
 		updates.Inc()
 	}
-	return delivered
+	return delivered, syncDelivered
 }
 
-// rollbackWrite undoes a strong-mode write whose fan-out reached no peer
-// at all: the pre-write state is swapped back in and the version bump
-// reverted, so the caller's retry (against the repaired or promoted set)
-// re-executes it exactly once in a lineage that can actually keep it.
-// Called with the fan lock held.
+// rollbackWrite undoes a synchronous-fan-out write (strong, or eventual
+// with MinSync > 0) that reached no peer at all: the pre-write state is
+// swapped back in and the version bump reverted, so the caller's retry
+// (against the repaired or promoted set) re-executes it exactly once in
+// a lineage that can actually keep it.  Called with the fan lock held.
 func (rt *Runtime) rollbackWrite(h *hostedObj, rs *replState, undo []byte) error {
 	inst, err := rt.store.New(h.ref.Class)
 	if err != nil {

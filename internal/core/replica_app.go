@@ -171,7 +171,7 @@ func (a *App) configurePrimary(p sched.Proc, e *objEntry, loc string, ref Ref, p
 	body := rmi.MustMarshal(replicaConfigureReq{
 		App: ref.App, ID: ref.ID, Peers: peers,
 		Mode: pol.Mode, Lease: pol.Lease, Reads: pol.Reads,
-		AuthUntil: until,
+		AuthUntil: until, MinSync: pol.MinSync,
 	})
 	_, err := a.rt.st.Call(p, loc, PubService, "replicaConfigure", body, replicaCallTimeout)
 	return err
@@ -205,32 +205,61 @@ func (a *App) ensureAuthRenewer() {
 			}
 			a.mu.Unlock()
 			sort.Slice(targets, func(i, j int) bool { return targets[i].ref.ID < targets[j].ref.ID })
-			for _, e := range targets {
-				a.renewAuthority(p, e)
-			}
+			a.renewAuthorityBatched(p, targets)
 		}
 	})
 }
 
-// renewAuthority sends one write-authority grant to the entry's primary.
-// Best effort: a grant that cannot be delivered simply lets the primary
-// run out and self-fence.  The horizon moves before the send, never on
-// its outcome — a failed call may still have delivered the request.
-func (a *App) renewAuthority(p sched.Proc, e *objEntry) {
-	a.mu.Lock()
-	if e.freed || e.pol == nil || e.promoting {
+// renewAuthorityBatched groups the renewal targets by primary node and
+// sends one replicaAuthBatch RMI per node carrying every grant for that
+// node (ROADMAP "Per-node grant batching").  With the old per-object
+// walk, a node hosting M primaries cost M RMIs per tick — and a *dead*
+// node burned M × authGrantBudget, delaying the grants of healthy
+// primaries behind it.  Batched, it is one RMI and at most one budget
+// per node per tick, whatever M is.  Best effort like before: a batch
+// that cannot be delivered simply lets those primaries run out and
+// self-fence.  Horizons move before the send, never on its outcome — a
+// failed call may still have delivered the request.
+func (a *App) renewAuthorityBatched(p sched.Proc, targets []*objEntry) {
+	groups := make(map[string][]*objEntry)
+	var order []string // nodes in first-appearance (= entry ID) order
+	for _, e := range targets {
+		a.mu.Lock()
+		skip := e.freed || e.pol == nil || e.promoting
+		loc := e.location
 		a.mu.Unlock()
-		return
+		if skip {
+			continue
+		}
+		if _, ok := groups[loc]; !ok {
+			order = append(order, loc)
+		}
+		groups[loc] = append(groups[loc], e)
 	}
-	loc := e.location
-	ref := e.ref
-	until := a.world.s.Now() + authTTL
-	if until > e.authHorizon {
-		e.authHorizon = until
+	for _, loc := range order {
+		var batch rmi.Batch
+		for _, e := range groups[loc] {
+			a.mu.Lock()
+			if e.freed || e.pol == nil || e.promoting || e.location != loc {
+				a.mu.Unlock()
+				continue
+			}
+			ref := e.ref
+			until := a.world.s.Now() + authTTL
+			if until > e.authHorizon {
+				e.authHorizon = until
+			}
+			a.mu.Unlock()
+			batch.MustAppend(replicaAuthRenewReq{App: ref.App, ID: ref.ID, Until: until})
+		}
+		if batch.Len() == 0 {
+			continue
+		}
+		a.world.reg.Counter("js_replica_auth_batches_total").Inc()
+		a.world.reg.Counter("js_replica_auth_grants_total").Add(int64(batch.Len()))
+		body := rmi.MustMarshal(batch)
+		_, _ = a.rt.st.Call(p, loc, PubService, "replicaAuthBatch", body, authGrantBudget)
 	}
-	a.mu.Unlock()
-	body := rmi.MustMarshal(replicaAuthRenewReq{App: ref.App, ID: ref.ID, Until: until})
-	_, _ = a.rt.st.Call(p, loc, PubService, "replicaAuthRenew", body, authGrantBudget)
 }
 
 // memberSnapshot fetches a member's current state + version.
@@ -390,6 +419,20 @@ func (a *App) promoteEntry(p sched.Proc, e *objEntry, deadNode string) bool {
 	a.mu.Lock()
 	e.location = bestNode
 	e.replicas = peers
+	// Remember the deposed lineage: if deadNode was only partitioned, a
+	// fenced zombie copy (primary-role replState, fan-out state, the
+	// instance itself) is still hosted there and must be torn down when
+	// the node is seen again (cleanupZombies).
+	fenced := false
+	for _, n := range e.fenced {
+		if n == deadNode {
+			fenced = true
+			break
+		}
+	}
+	if !fenced {
+		e.fenced = append(e.fenced, deadNode)
+	}
 	a.mu.Unlock()
 	a.rt.ForgetLocation(ref) // home-node caches now point at the dead node
 	a.world.emit(trace.Event{Kind: trace.ReplicaPromoted, Node: bestNode, App: a.id, Obj: ref.ID,
@@ -438,6 +481,75 @@ func (a *App) repairReplicaSets(p sched.Proc, deadNode string) {
 		_ = a.configurePrimary(p, e, loc, ref, pol, peers)
 		_ = a.materializeReplicas(p, e, []string{deadNode})
 		a.publishRSet(p, e)
+	}
+}
+
+// hasFencedOn reports whether any entry remembers a deposed primary
+// lineage on node (the post-heal cleanup trigger).
+func (a *App) hasFencedOn(node string) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, e := range a.objs {
+		for _, n := range e.fenced {
+			if n == node {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// cleanupZombies tears down deposed primary lineages on a node that
+// just healed (partition lifted, detector reports it recovered).  The
+// zombie is a fully intact copy: instance, primary-role replState, fan
+// lock.  It is already harmless for writes — its authority grant lapsed
+// long ago, so invoke deflects everything — but it leaks memory, its
+// primary-role replState blocks replicaApply from ever re-seeding this
+// node as a replica, and a stray locate answer could bounce callers off
+// it forever.  Teardown is the explicit "you were deposed" message the
+// fencing design deferred to the heal: free the hosted instance and
+// drop any replica-role leftover.  A fenced node that meanwhile became
+// current again (the set healed back onto it) is left alone.
+func (a *App) cleanupZombies(p sched.Proc, node string) {
+	a.mu.Lock()
+	var hit []*objEntry
+	for _, e := range a.objs {
+		for _, n := range e.fenced {
+			if n == node {
+				hit = append(hit, e)
+				break
+			}
+		}
+	}
+	a.mu.Unlock()
+	sort.Slice(hit, func(i, j int) bool { return hit[i].ref.ID < hit[j].ref.ID })
+	for _, e := range hit {
+		a.mu.Lock()
+		out := e.fenced[:0]
+		for _, n := range e.fenced {
+			if n != node {
+				out = append(out, n)
+			}
+		}
+		e.fenced = out
+		current := e.location == node
+		for _, n := range e.replicas {
+			if n == node {
+				current = true
+			}
+		}
+		ref := e.ref
+		a.mu.Unlock()
+		if current {
+			continue
+		}
+		free := rmi.MustMarshal(freeReq{App: ref.App, ID: ref.ID})
+		_, _ = a.rt.st.Call(p, node, PubService, "free", free, replicaCallTimeout)
+		drop := rmi.MustMarshal(replicaDropReq{App: ref.App, ID: ref.ID})
+		_, _ = a.rt.st.Call(p, node, PubService, "replicaDrop", drop, replicaCallTimeout)
+		a.world.emit(trace.Event{Kind: trace.ReplicaDropped, Node: node,
+			App: a.id, Obj: ref.ID, Detail: "post-heal zombie teardown"})
+		a.world.reg.Counter("js_replica_zombie_teardowns_total").Inc()
 	}
 }
 

@@ -30,8 +30,8 @@ type Runtime struct {
 
 	mu        sync.Mutex
 	hosted    map[objKey]*hostedObj
-	locCache  map[objKey]string          // last known location of foreign objects
-	rsetCache map[objKey]replica.Set     // last known replica sets of foreign objects
+	locCache  map[objKey]string      // last known location of foreign objects
+	rsetCache map[objKey]replica.Set // last known replica sets of foreign objects
 }
 
 type objKey struct {
@@ -259,6 +259,16 @@ func (rt *Runtime) handlePub(p sched.Proc, from, method string, body []byte) ([]
 			return nil, err
 		}
 		return nil, rt.replicaAuthRenew(req)
+	case "replicaAuthBatch":
+		var b rmi.Batch
+		if err := rmi.Unmarshal(body, &b); err != nil {
+			return nil, err
+		}
+		applied, err := rt.replicaAuthBatch(b)
+		if err != nil {
+			return nil, err
+		}
+		return rmi.MustMarshal(applied), nil
 	case "replicaDrop":
 		var req replicaDropReq
 		if err := rmi.Unmarshal(body, &req); err != nil {
@@ -380,7 +390,9 @@ func (rt *Runtime) invoke(p sched.Proc, req invokeReq) (invokeResp, error) {
 	// the state shipped to replicas is a consistent post-write snapshot
 	// whose version order matches apply order.
 	primaryWrite := rs != nil && len(rs.peers) > 0 && !rs.reads[req.Method]
-	strongWrite := primaryWrite && rs.mode == replica.Strong
+	// A write whose ack promises synchronous copies — strong mode, or
+	// eventual with MinSync > 0 — must be undone if no peer receives it.
+	syncWrite := primaryWrite && (rs.mode == replica.Strong || rs.minSync > 0)
 	var rset replica.Set
 	if rs != nil && len(rs.peers) > 0 {
 		rset = rs.setSnapshot(rt.Node())
@@ -399,17 +411,17 @@ func (rt *Runtime) invoke(p sched.Proc, req invokeReq) (invokeResp, error) {
 	if primaryWrite {
 		rs.fan.lock(p)
 		defer rs.fan.unlock()
-		if strongWrite {
+		if syncWrite {
 			undo, _ = rmi.Marshal(inst)
 		}
 	}
 	res, service, err := rt.execMethod(p, inst, req)
 	if primaryWrite && err == nil {
-		delivered := rt.propagate(p, h, rs)
-		if strongWrite && delivered == 0 && undo != nil {
-			// No peer saw the write: acking it would claim durability the
-			// set cannot provide (and a fenced-off zombie would claim it
-			// into an abandoned lineage).  Undo and deflect.
+		_, syncDelivered := rt.propagate(p, h, rs)
+		if syncWrite && syncDelivered == 0 && undo != nil {
+			// No peer saw the write synchronously: acking it would claim
+			// durability the set cannot provide (and a fenced-off zombie
+			// would claim it into an abandoned lineage).  Undo and deflect.
 			if rbErr := rt.rollbackWrite(h, rs, undo); rbErr == nil {
 				return invokeResp{}, errors.New(errObjMoved)
 			}

@@ -143,11 +143,16 @@ type (
 		Lease     time.Duration
 		Reads     []string
 		AuthUntil time.Duration
+		MinSync   int // eventual mode: replicas updated synchronously per write
 	}
 	// replicaAuthRenewReq extends the primary's write authority (origin
 	// AppOA -> primary, periodic).  A primary the AppOA cannot reach
 	// stops being renewed and self-fences when the last grant expires;
 	// promotion waits out that horizon before installing a survivor.
+	// The renewer ships these per-node inside an rmi.Batch envelope
+	// ("replicaAuthBatch"): one RMI carries the grants for every object
+	// whose primary lives on that node, so a dead node burns one grant
+	// budget in total instead of one per object.
 	replicaAuthRenewReq struct {
 		App   string
 		ID    uint64
@@ -215,7 +220,7 @@ func init() {
 		float32(0), float64(0), false, "",
 		[]int(nil), []int64(nil), []float32(nil), []float64(nil),
 		[]string(nil), []byte(nil), []any(nil),
-		map[string]string(nil), map[string]float64(nil),
+		map[string]string(nil), map[string]float64(nil), map[string]int(nil),
 		Ref{}, []Ref(nil),
 		params.Snapshot(nil),
 	} {

@@ -565,6 +565,21 @@ func (w *World) onLiveness(e nas.Event) {
 	case nas.EventNodeRecovered:
 		w.emit(trace.Event{Kind: trace.NodeRecovered, Node: e.Node, Detail: "detector"})
 		w.reg.Counter("js_core_node_recoveries_total").Inc()
+		w.mu.Lock()
+		apps := append([]*App(nil), w.apps...)
+		w.mu.Unlock()
+		for _, a := range apps {
+			// Post-heal zombie cleanup: a healed node may still host the
+			// deposed primary lineage a promotion fenced off while the
+			// node was partitioned away.  Tear it down so its replState
+			// and fan-out state stop leaking (and stop blocking re-seeds).
+			if a.hasFencedOn(e.Node) {
+				app, node := a, e.Node
+				w.s.Spawn("oas.zombieclean:"+app.id, func(p sched.Proc) {
+					app.cleanupZombies(p, node)
+				})
+			}
+		}
 	}
 }
 

@@ -41,15 +41,19 @@ const (
 	// the state a replica serves left the primary) is surfaced on every
 	// read in the invocation span.
 	//
-	// Ack contract: an eventual-mode write is acknowledged after it
-	// executes on the primary only — propagation to the replicas is
-	// fire-and-forget.  If the primary crashes inside the staleness
-	// window (after the ack, before any replica received the update),
-	// the promoted survivor has never seen the write and it is dropped
-	// from every surviving copy.  An acked write is durable against a
-	// primary crash only under Strong, which propagates synchronously
-	// to all replicas before acknowledging.  Choose Eventual only when
-	// losing the tail of acked writes on a crash is acceptable.
+	// Ack contract: with MinSync == 0 (the default) an eventual-mode
+	// write is acknowledged after it executes on the primary only —
+	// propagation to the replicas is fire-and-forget.  If the primary
+	// crashes inside the staleness window (after the ack, before any
+	// replica received the update), the promoted survivor has never
+	// seen the write and it is dropped from every surviving copy.
+	// Setting MinSync: k closes that window for up to k-1 simultaneous
+	// copy losses: the first k replicas (in sorted node order) receive
+	// each write synchronously before the ack, so the freshest-survivor
+	// election finds it as long as one synchronous copy outlives the
+	// primary.  An acked write is durable against *any* combination of
+	// crashes only under Strong, which propagates synchronously to all
+	// replicas before acknowledging.
 	Eventual Mode = "eventual"
 )
 
@@ -75,6 +79,15 @@ type Policy struct {
 	Mode  Mode          // Strong or Eventual
 	Lease time.Duration // strong-mode read lease (default DefaultLease)
 	Reads []string      // method names that are reads (routable to replicas)
+
+	// MinSync, in Eventual mode, is the number of replicas that must
+	// apply each write synchronously before it is acknowledged; the
+	// remaining N-MinSync replicas receive it fire-and-forget as usual.
+	// 0 (the default) keeps the pure fire-and-forget ack contract; N
+	// makes every copy synchronous, matching Strong's durability while
+	// keeping eventual-mode lease-free reads.  Ignored under Strong,
+	// where all propagation is already synchronous.
+	MinSync int
 }
 
 // WithDefaults fills unset fields: mode defaults to Strong, the lease to
@@ -107,6 +120,9 @@ func (p Policy) Validate() error {
 			return errors.New("replica: empty read method name")
 		}
 	}
+	if p.MinSync < 0 || p.MinSync > p.N {
+		return fmt.Errorf("replica: MinSync must be in [0, N=%d], got %d", p.N, p.MinSync)
+	}
 	return nil
 }
 
@@ -122,8 +138,12 @@ func (p Policy) IsRead(method string) bool {
 
 // String renders the policy the way the shell accepts it.
 func (p Policy) String() string {
-	return fmt.Sprintf("n=%d mode=%s lease=%s reads=%s",
+	s := fmt.Sprintf("n=%d mode=%s lease=%s reads=%s",
 		p.N, p.Mode, p.Lease, strings.Join(p.Reads, ","))
+	if p.MinSync > 0 {
+		s += fmt.Sprintf(" minsync=%d", p.MinSync)
+	}
+	return s
 }
 
 // Set is the materialized replica set of one object: where the primary

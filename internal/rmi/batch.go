@@ -1,0 +1,41 @@
+package rmi
+
+// Batch is the control-plane batching envelope: several independently
+// gob-encoded messages bound for the same destination service, shipped
+// in one RMI.  The canonical user is the write-authority renewer,
+// which folds one replicaAuthRenew per object into one replicaAuthBatch
+// per *node* — a dead primary host then burns a single grant budget for
+// all of its objects instead of one per object (ROADMAP "Per-node
+// grant batching").
+//
+// Items are opaque to the envelope; sender and receiver agree on the
+// per-item type the way they already do for unbatched messages.
+type Batch struct {
+	Items [][]byte
+}
+
+// Append marshals v and adds it to the batch.
+func (b *Batch) Append(v any) error {
+	data, err := Marshal(v)
+	if err != nil {
+		return err
+	}
+	b.Items = append(b.Items, data)
+	return nil
+}
+
+// MustAppend is Append for internal protocol structs whose
+// encodability is a program invariant.
+func (b *Batch) MustAppend(v any) {
+	if err := b.Append(v); err != nil {
+		panic(err)
+	}
+}
+
+// Len returns the number of batched items.
+func (b *Batch) Len() int { return len(b.Items) }
+
+// Decode unmarshals item i into v (a pointer).
+func (b *Batch) Decode(i int, v any) error {
+	return Unmarshal(b.Items[i], v)
+}

@@ -1,0 +1,44 @@
+package rmi
+
+import "testing"
+
+func TestBatchRoundTrip(t *testing.T) {
+	type grant struct {
+		App   string
+		ID    uint64
+		Until int64
+	}
+	var b Batch
+	want := []grant{
+		{App: "app-1", ID: 7, Until: 600},
+		{App: "app-1", ID: 9, Until: 601},
+		{App: "app-2", ID: 1, Until: 602},
+	}
+	for _, g := range want {
+		b.MustAppend(g)
+	}
+	if b.Len() != len(want) {
+		t.Fatalf("len = %d, want %d", b.Len(), len(want))
+	}
+
+	// The envelope itself crosses the wire like any message body.
+	var decoded Batch
+	if err := Unmarshal(MustMarshal(b), &decoded); err != nil {
+		t.Fatalf("envelope round trip: %v", err)
+	}
+	if decoded.Len() != len(want) {
+		t.Fatalf("decoded len = %d, want %d", decoded.Len(), len(want))
+	}
+	for i, w := range want {
+		var g grant
+		if err := decoded.Decode(i, &g); err != nil {
+			t.Fatalf("decode item %d: %v", i, err)
+		}
+		if g != w {
+			t.Fatalf("item %d = %+v, want %+v", i, g, w)
+		}
+	}
+	if err := decoded.Decode(0, new(int)); err == nil {
+		t.Fatal("decoding a struct item into *int should fail")
+	}
+}

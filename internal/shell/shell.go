@@ -105,6 +105,8 @@ func (s *Shell) Exec(p sched.Proc, line string) (string, error) {
 		return s.constraints(args)
 	case "replicas":
 		return s.replicas(), nil
+	case "shards":
+		return s.shards(), nil
 	case "rset":
 		return s.rset(p, args)
 	case "kill", "revive":
@@ -131,6 +133,7 @@ const helpText = `JS-Shell commands:
   top                           per-node utilization, load, objects, traffic
   storage                       list persistent object keys
   replicas                      replica sets: primary, members, mode, lease
+  shards                        shard groups: ring members, hosting, replicas
   rset <app>/<obj> n=<N> [mode=strong|eventual] [reads=M1,M2] [lease=250ms]
                                 replicate an object (N read replicas)
   automigrate on <period>|off   toggle automatic object migration
@@ -449,11 +452,35 @@ func (s *Shell) replicas() string {
 	return b.String()
 }
 
+// shards renders every application's shard groups: each shard's ring
+// name, backing object, hosting node, and replica members.
+func (s *Shell) shards() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %-16s %-16s %-12s %s\n",
+		"GROUP", "SHARD", "OBJECT", "NODE", "REPLICAS")
+	n := 0
+	for _, a := range s.w.Apps() {
+		for _, g := range a.ShardGroups() {
+			for _, sh := range g.Shards {
+				fmt.Fprintf(&b, "%-14s %-16s %-16s %-12s %s\n",
+					g.Name, sh.Shard,
+					fmt.Sprintf("%s/%d", sh.Ref.App, sh.Ref.ID),
+					sh.Node, strings.Join(sh.Replicas, ","))
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return "(no shard groups)\n"
+	}
+	return b.String()
+}
+
 // rset replicates one object from the operator's seat:
 // "rset app:node01:1/3 n=2 mode=strong reads=Get,Size lease=250ms".
 // Re-issuing the command replaces the object's existing set.
 func (s *Shell) rset(p sched.Proc, args []string) (string, error) {
-	usage := fmt.Errorf("usage: rset <app>/<obj> n=<N> [mode=strong|eventual] [reads=M1,M2] [lease=250ms]")
+	usage := fmt.Errorf("usage: rset <app>/<obj> n=<N> [mode=strong|eventual] [reads=M1,M2] [lease=250ms] [minsync=k]")
 	if len(args) < 2 {
 		return "", usage
 	}
@@ -486,6 +513,10 @@ func (s *Shell) rset(p sched.Proc, args []string) (string, error) {
 		case "lease":
 			if pol.Lease, err = time.ParseDuration(v); err != nil {
 				return "", fmt.Errorf("bad lease %q", v)
+			}
+		case "minsync":
+			if pol.MinSync, err = strconv.Atoi(v); err != nil {
+				return "", fmt.Errorf("bad minsync %q", v)
 			}
 		default:
 			return "", usage

@@ -48,7 +48,10 @@ type Span struct {
 	// was (eventual-mode replicas report time since the state left the
 	// primary; 0 everywhere else, including strong-lease reads).
 	Staleness time.Duration
-	Err       string // "" on success
+	// Shard names the shard member that served a shard-group routed
+	// invocation ("" for plain object calls).
+	Shard string
+	Err   string // "" on success
 }
 
 // Total is the span's end-to-end latency.
@@ -64,6 +67,9 @@ func (s Span) String() string {
 		s.Service.Round(time.Microsecond), s.Wire.Round(time.Microsecond))
 	if s.Staleness > 0 {
 		fmt.Fprintf(&b, " stale=%s", s.Staleness.Round(time.Microsecond))
+	}
+	if s.Shard != "" {
+		fmt.Fprintf(&b, " shard=%s", s.Shard)
 	}
 	if s.Parent != 0 {
 		fmt.Fprintf(&b, " parent=#%d", s.Parent)

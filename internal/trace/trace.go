@@ -49,6 +49,13 @@ const (
 	ReplicaCreated  Kind = "replica.created"
 	ReplicaPromoted Kind = "replica.promoted"
 	ReplicaDropped  Kind = "replica.dropped"
+
+	// Shard-group kinds (internal/shard): a group was created, a new
+	// shard joined and keys were handed off to it, shards were
+	// migrated off a node.
+	ShardGroupCreated Kind = "shard.created"
+	ShardRebalanced   Kind = "shard.rebalanced"
+	ShardEvacuated    Kind = "shard.evacuated"
 )
 
 // Event is one record.

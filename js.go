@@ -351,3 +351,86 @@ func (h *ResultHandle) IsReady() bool { return h.h.IsReady() }
 
 // Result blocks until the result is available ("handle.getResult()").
 func (h *ResultHandle) Result() (any, error) { return h.h.Result(h.js.p) }
+
+// ---------------------------------------------------------------------
+// Shard groups.
+
+// ShardGroup partitions one logical object's key space over S shard
+// primaries via consistent hashing; each shard carries its own replica
+// set.  Invocations are routed by key, reads are coalesced on the
+// router, and Grow/Evacuate rebalance the ring deterministically.
+type ShardGroup struct {
+	g  *core.ShardGroup
+	js *JS
+}
+
+// NewShardGroup creates spec.Shards shard primaries of the given class
+// spread over the installation, replicates each one under
+// spec.Replication, and builds the hash ring over them.
+func (js *JS) NewShardGroup(name, class string, spec ShardSpec) (*ShardGroup, error) {
+	g, err := js.app.NewShardGroup(js.p, name, class, spec)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardGroup{g: g, js: js}, nil
+}
+
+// ShardGroupByName resolves an already-created group in this session.
+func (js *JS) ShardGroupByName(name string) (*ShardGroup, bool) {
+	g, ok := js.app.ShardGroup(name)
+	if !ok {
+		return nil, false
+	}
+	return &ShardGroup{g: g, js: js}, true
+}
+
+// ShardGroups lists the application's shard groups sorted by name.
+func (js *JS) ShardGroups() []ShardGroupInfo { return js.app.ShardGroups() }
+
+// Invoke routes a keyed invocation to the owning shard: writes go to
+// the shard primary, read-only methods ride the shard's replica router
+// and identical concurrent reads are coalesced into one upstream RMI.
+func (g *ShardGroup) Invoke(key, method string, args ...any) (any, error) {
+	return g.g.Invoke(g.js.p, key, method, args...)
+}
+
+// AInvoke is the asynchronous variant of Invoke.
+func (g *ShardGroup) AInvoke(key, method string, args ...any) *ResultHandle {
+	h := newWrappedHandle(g.js)
+	cg := g.g
+	g.js.app.World().Sched().Spawn("ainvoke-shard:"+cg.Name(), func(p sched.Proc) {
+		res, err := cg.Invoke(p, key, method, args...)
+		h.h.Deliver(res, err)
+	})
+	return h
+}
+
+// Grow adds one shard on the given node ("" lets JRS pick) and hands
+// off the ~K/S keys the ring reassigns to it.
+func (g *ShardGroup) Grow(node string) (string, error) {
+	return g.g.Grow(g.js.p, node)
+}
+
+// Evacuate migrates every shard primary off the node (the shard keeps
+// its ring identity; only its hosting changes).
+func (g *ShardGroup) Evacuate(node string) error {
+	return g.g.Evacuate(g.js.p, node)
+}
+
+// Name returns the group name.
+func (g *ShardGroup) Name() string { return g.g.Name() }
+
+// Owner returns the shard name owning a key.
+func (g *ShardGroup) Owner(key string) string { return g.g.Owner(key) }
+
+// Shards lists the shard names in ring order.
+func (g *ShardGroup) Shards() []string { return g.g.Shards() }
+
+// Info snapshots the group's shards, placements, and replica sets.
+func (g *ShardGroup) Info() ShardGroupInfo { return g.g.Info() }
+
+// With rebinds the group handle to another session of the same
+// application (a JS obtained from Spawn), like Object.With.
+func (g *ShardGroup) With(js *JS) *ShardGroup {
+	return &ShardGroup{g: g.g, js: js}
+}

@@ -1,18 +1,24 @@
-// Package kv implements a read-mostly key-value workload for exercising
-// the object replication subsystem (internal/replica): a Store object
-// holds a string→int table and is typically replicated with Get/Sum/Len
+// Package kv implements a key-value workload for exercising the object
+// replication and shard-group subsystems: a Store object holds a
+// string→int table and is typically replicated with Get/Sum/Len
 // declared read-only, and Reader objects pinned across the installation
 // issue batches of reads *from their own node*, so nearest-replica
 // routing has distinct origins to route from.
 //
-// The modeled per-read CPU cost (ReadFlops) makes read throughput
-// service-bound rather than wire-bound: with N replicas the aggregate
-// read capacity scales with the set size, which is what the replica
-// benchmark (cmd/jsbench -experiment replica) measures.
+// The modeled CPU costs make throughput service-bound rather than
+// wire-bound: with N replicas the aggregate read capacity scales with
+// the set size (ReadFlops; cmd/jsbench -experiment replica), and with S
+// shards the aggregate write capacity scales with the shard count
+// (WriteFlops; cmd/jsbench -experiment shard).
+//
+// Store also implements the shard-group handoff protocol
+// (Keys/Extract/Install), so a kv key space can be partitioned with
+// jsymphony.NewShardGroup and rebalanced when shards are added.
 package kv
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"jsymphony"
@@ -30,11 +36,13 @@ func init() {
 	jsymphony.RegisterWireType(ReadReport{})
 }
 
-// Store is the replicable table.  All state is exported so the object
-// survives migration, persistence, and replica seeding (gob).
+// Store is the replicable, shardable table.  All state is exported so
+// the object survives migration, persistence, replica seeding, and
+// shard handoff (gob).
 type Store struct {
-	Data      map[string]int
-	ReadFlops float64 // modeled CPU per Get/Sum (0 = free reads)
+	Data       map[string]int
+	ReadFlops  float64 // modeled CPU per Get/Sum (0 = free reads)
+	WriteFlops float64 // modeled CPU per Put/Add (0 = free writes)
 
 	mu sync.Mutex // methods run on one proc per RMI
 }
@@ -47,25 +55,45 @@ func (s *Store) Init(readFlops float64) {
 	s.ReadFlops = readFlops
 }
 
-// Put stores one binding.
-func (s *Store) Put(k string, v int) {
+// InitRW sizes the table and sets both modeled costs; the shard
+// benchmark uses write costs to make throughput primary-bound.
+func (s *Store) InitRW(readFlops, writeFlops float64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.Data = make(map[string]int)
+	s.ReadFlops = readFlops
+	s.WriteFlops = writeFlops
+}
+
+// Put stores one binding, charging the modeled write cost to the
+// hosting node.
+func (s *Store) Put(ctx *jsymphony.Ctx, k string, v int) {
+	s.mu.Lock()
 	if s.Data == nil {
 		s.Data = make(map[string]int)
 	}
 	s.Data[k] = v
+	flops := s.WriteFlops
+	s.mu.Unlock()
+	if flops > 0 {
+		ctx.Compute(flops)
+	}
 }
 
 // Add increments a binding and returns the new value.
-func (s *Store) Add(k string, d int) int {
+func (s *Store) Add(ctx *jsymphony.Ctx, k string, d int) int {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.Data == nil {
 		s.Data = make(map[string]int)
 	}
 	s.Data[k] += d
-	return s.Data[k]
+	v := s.Data[k]
+	flops := s.WriteFlops
+	s.mu.Unlock()
+	if flops > 0 {
+		ctx.Compute(flops)
+	}
+	return v
 }
 
 // Get reads one binding, charging the modeled read cost to whichever
@@ -101,6 +129,47 @@ func (s *Store) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.Data)
+}
+
+// Keys returns the table's keys in sorted order (shard handoff:
+// enumerate before Extract).
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.Data))
+	for k := range s.Data {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Extract removes and returns the listed bindings (shard handoff:
+// the source side).  Missing keys are skipped.
+func (s *Store) Extract(keys []string) map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int, len(keys))
+	for _, k := range keys {
+		if v, ok := s.Data[k]; ok {
+			out[k] = v
+			delete(s.Data, k)
+		}
+	}
+	return out
+}
+
+// Install merges bindings extracted from another shard (shard handoff:
+// the destination side).
+func (s *Store) Install(data map[string]int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.Data == nil {
+		s.Data = make(map[string]int)
+	}
+	for k, v := range data {
+		s.Data[k] = v
+	}
 }
 
 // ReadMethods is the read-only method set a replication policy should

@@ -10,11 +10,11 @@ func TestStoreLocalLifecycle(t *testing.T) {
 	s := &Store{}
 	ctx := &jsymphony.Ctx{}
 	s.Init(0)
-	s.Put("a", 1)
-	if got := s.Add("a", 2); got != 3 {
+	s.Put(ctx, "a", 1)
+	if got := s.Add(ctx, "a", 2); got != 3 {
 		t.Fatalf("Add = %d, want 3", got)
 	}
-	s.Add("b", 5) // Add also creates
+	s.Add(ctx, "b", 5) // Add also creates
 	if got := s.Get(ctx, "a"); got != 3 {
 		t.Fatalf("Get = %d, want 3", got)
 	}
@@ -26,8 +26,8 @@ func TestStoreLocalLifecycle(t *testing.T) {
 	}
 	// Put on a zero Store (post-gob replica instance) must not panic.
 	z := &Store{}
-	z.Put("x", 1)
-	if z.Add("x", 1) != 2 {
+	z.Put(ctx, "x", 1)
+	if z.Add(ctx, "x", 1) != 2 {
 		t.Fatal("zero-value store broken")
 	}
 }
