@@ -23,11 +23,15 @@ import (
 	"jsymphony/internal/chaos"
 	"jsymphony/internal/codebase"
 	"jsymphony/internal/core"
+	"jsymphony/internal/flight"
+	"jsymphony/internal/heat"
 	"jsymphony/internal/nas"
 	"jsymphony/internal/params"
 	"jsymphony/internal/replica"
 	"jsymphony/internal/rmi"
 	"jsymphony/internal/simnet"
+	"jsymphony/internal/slo"
+	"jsymphony/internal/trace"
 	"jsymphony/internal/virtarch"
 )
 
@@ -156,6 +160,56 @@ const (
 	// may be stale, and report their staleness in invocation spans.
 	ReplicaEventual = replica.Eventual
 )
+
+// Observability v2 re-exports (DESIGN.md §11): request-level SLOs,
+// causal critical-path tracing, per-key heat telemetry, and the
+// flight recorder.
+type (
+	// SLO declares a latency objective for one request class, e.g.
+	// {Class: "read", Target: 5ms, Percentile: 99}.
+	SLO = slo.SLO
+	// SLOReport is the engine's point-in-time attainment report.
+	SLOReport = slo.Report
+	// Span is one recorded invocation with its causal edges and
+	// latency decomposition (queue/retry/service/lease-wait/wire).
+	Span = trace.Span
+	// CritPath is one request's critical-path latency breakdown.
+	CritPath = trace.CritPath
+	// CritPathBreakdown sums critical-path segment time over many
+	// requests.
+	CritPathBreakdown = trace.Breakdown
+	// ShardHeat is one shard's hottest keys.
+	ShardHeat = core.ShardHeat
+	// HeatEntry is one tracked key with its count upper bound.
+	HeatEntry = heat.Entry
+	// FlightOptions bounds the flight recorder's rings.
+	FlightOptions = flight.Options
+	// FlightDump is one preserved observability snapshot.
+	FlightDump = flight.Dump
+	// FlightRecorder keeps bounded dumps taken on chaos faults and
+	// SLO burn-rate breaches.
+	FlightRecorder = flight.Recorder
+)
+
+// SLO classes stamped on shard-group traffic.
+const (
+	// SLOClassRead is coalesced/replica-routed keyed reads.
+	SLOClassRead = core.ClassRead
+	// SLOClassWrite is keyed writes to shard primaries.
+	SLOClassWrite = core.ClassWrite
+)
+
+// AnalyzeCritPath decomposes the request rooted at the given span id
+// into attributed latency segments.
+func AnalyzeCritPath(spans []Span, root uint64) (CritPath, error) {
+	return trace.AnalyzeCritPath(spans, root)
+}
+
+// AggregateCritPath analyzes every retained root span accepted by keep
+// (nil keeps all) and sums segment time by kind.
+func AggregateCritPath(spans []Span, keep func(*Span) bool) CritPathBreakdown {
+	return trace.AggregateCritPath(spans, keep)
+}
 
 // Fault injection (chaos) re-exports: deterministic, seeded faults on
 // the simulated installation.

@@ -23,13 +23,14 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "fig5", "experiment to run (fig5, mandel, automigrate, recovery, replica, shard)")
+	experiment := flag.String("experiment", "fig5", "experiment to run (fig5, mandel, automigrate, recovery, replica, shard, slo)")
 	sizes := flag.String("sizes", "200,400,600,800", "comma-separated problem sizes")
 	maxNodes := flag.Int("maxnodes", 13, "sweep node counts 1..maxnodes")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	metricsOut := flag.String("metricsout", "", "write per-run metrics snapshots to this JSON file (fig5 only)")
 	chaosPlan := flag.String("chaos", "", `fault-injection plan for fig5, e.g. "loss:*:0.02" or "crashes:20s+5s"`)
 	out := flag.String("out", "", "write the experiment result as JSON to this file (replica only)")
+	flightOut := flag.String("flightout", "", "write the flight recorder's preserved dumps to this JSON file (slo only)")
 	flag.Parse()
 
 	switch *experiment {
@@ -45,6 +46,8 @@ func main() {
 		runReplica(*seed, *out)
 	case "shard":
 		runShard(*seed, *out)
+	case "slo":
+		runSlo(*seed, *out, *flightOut)
 	default:
 		fmt.Fprintf(os.Stderr, "jsbench: unknown experiment %q\n", *experiment)
 		os.Exit(2)
@@ -117,6 +120,51 @@ func runShard(seed int64, out string) {
 	}
 	fmt.Println()
 	lines, ok := experiments.ShardReport(res)
+	fmt.Println("Subsystem claims:")
+	for _, l := range lines {
+		fmt.Println("  " + l)
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func runSlo(seed int64, out, flightOut string) {
+	fmt.Println("SLO — request-level objectives, critical-path tracing, heat telemetry")
+	fmt.Println("(Observability v2: internal/slo, internal/trace, internal/heat, internal/flight)")
+	fmt.Println()
+	cfg := experiments.SloConfig{Seed: seed}
+	res := experiments.Slo(cfg)
+	experiments.WriteSlo(os.Stdout, res)
+	if out == "" {
+		out = "BENCH_slo.json"
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jsbench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := experiments.WriteSloJSON(f, res); err != nil {
+		fmt.Fprintf(os.Stderr, "jsbench: %v\n", err)
+		os.Exit(1)
+	}
+	f.Close()
+	fmt.Printf("result written to %s\n", out)
+	if flightOut != "" {
+		f, err := os.Create(flightOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jsbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := experiments.WriteSloFlightJSON(f, res); err != nil {
+			fmt.Fprintf(os.Stderr, "jsbench: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("flight dumps written to %s\n", flightOut)
+	}
+	fmt.Println()
+	lines, ok := experiments.SloReportLines(res)
 	fmt.Println("Subsystem claims:")
 	for _, l := range lines {
 		fmt.Println("  " + l)

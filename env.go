@@ -75,6 +75,28 @@ func (e *Env) World() *core.World { return e.w }
 // Nodes lists the environment's node names.
 func (e *Env) Nodes() []string { return e.w.Nodes() }
 
+// DeclareSLO registers a latency objective; subsequent classified
+// requests are measured against it.
+func (e *Env) DeclareSLO(s SLO) error { return e.w.DeclareSLO(s) }
+
+// SLOReport returns per-class latency quantiles, attainment, and
+// burn rates at the current scheduler time.
+func (e *Env) SLOReport() SLOReport { return e.w.SLOReport() }
+
+// Spans snapshots the retained invocation spans (the causal DAG the
+// critical-path analyzer consumes).
+func (e *Env) Spans() []Span { return e.w.Spans().Spans() }
+
+// ArmFlightRecorder installs (or returns the already-armed) flight
+// recorder: bounded observability dumps are preserved automatically on
+// every injected chaos fault and SLO burn-rate breach.
+func (e *Env) ArmFlightRecorder(opt FlightOptions) *FlightRecorder {
+	return e.w.ArmFlightRecorder(opt)
+}
+
+// FlightRecorder returns the armed recorder, or nil.
+func (e *Env) FlightRecorder() *FlightRecorder { return e.w.FlightRecorder() }
+
 // SetAutoMigration enables (period > 0) or disables (0) automatic object
 // migration installation-wide — the JS-Shell toggle of §5.2.
 func (e *Env) SetAutoMigration(period time.Duration) { e.w.SetAutoMigration(period) }

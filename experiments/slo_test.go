@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSloClaims runs the experiment at its default configuration and
+// demands every headline claim: both classes measured, >= 95% latency
+// attribution, hot-key identification, and flight dumps from both the
+// chaos fault and the SLO burn-rate breach.
+func TestSloClaims(t *testing.T) {
+	res := Slo(SloConfig{Seed: 1})
+	lines, ok := SloReportLines(res)
+	for _, l := range lines {
+		t.Log(l)
+	}
+	if !ok {
+		var b strings.Builder
+		WriteSlo(&b, res)
+		t.Fatalf("slo claims failed:\n%s", b.String())
+	}
+}
+
+// TestSloDeterminism reruns the experiment with the same seed and
+// demands a byte-identical JSON artifact: every latency, quantile,
+// burn rate, heat count, and dump timestamp derives from the virtual
+// clock, so nothing about the host machine may leak in.
+func TestSloDeterminism(t *testing.T) {
+	var a, b strings.Builder
+	if err := WriteSloJSON(&a, Slo(SloConfig{Seed: 1})); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSloJSON(&b, Slo(SloConfig{Seed: 1})); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same-seed slo runs produced different JSON artifacts")
+	}
+}
+
+// TestSloHotKeyAcrossSeeds: the planted hot key must surface as the
+// globally hottest sketch entry no matter how the Zipf tail falls.
+func TestSloHotKeyAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seed sweep in -short mode")
+	}
+	for _, seed := range []int64{1, 2, 3, 7} {
+		res := Slo(SloConfig{Seed: seed})
+		if !res.HotKeyTop {
+			t.Errorf("seed %d: planted hot key not hottest (count %d):\n%+v",
+				seed, res.HotKeyCount, res.Heat)
+		}
+	}
+}

@@ -167,7 +167,7 @@ func (o *Object) Node(p sched.Proc) (*virtarch.Node, error) {
 
 // SInvoke is the synchronous (blocking) method invocation of §4.5.
 func (o *Object) SInvoke(p sched.Proc, method string, args ...any) (any, error) {
-	return o.app.invokeObject(p, o.id, method, args, trace.SpanSync, "")
+	return o.app.invokeObject(p, o.id, method, args, trace.SpanSync, "", "")
 }
 
 // AInvoke is the asynchronous invocation of §4.5: it returns immediately
@@ -180,7 +180,7 @@ func (o *Object) AInvoke(p sched.Proc, method string, args ...any) (*Handle, err
 	// "One thread for every asynchronous method invocation in order to
 	// overcome blocking Java/RMI" (§5.2).
 	o.app.world.s.Spawn(fmt.Sprintf("ainvoke:%s/%d.%s", o.app.id, o.id, method), func(wp sched.Proc) {
-		res, err := o.app.invokeObject(wp, o.id, method, args, trace.SpanAsync, "")
+		res, err := o.app.invokeObject(wp, o.id, method, args, trace.SpanAsync, "", "")
 		h.deliver(res, err)
 	})
 	return h, nil
@@ -204,7 +204,7 @@ func (o *Object) OInvoke(p sched.Proc, method string, args ...any) error {
 	err = o.app.rt.st.Post(p, e.location, PubService, "invoke", body)
 	// A one-sided span has no service/wire decomposition: the caller only
 	// observes the local post.
-	sr.finish(e.location, 0, err)
+	sr.finish(e.location, 0, 0, err)
 	return err
 }
 
@@ -214,15 +214,18 @@ func (o *Object) OInvoke(p sched.Proc, method string, args ...any) error {
 // simply waits out a migration — re-reading the location from this very
 // table (our own migrations update it).  The total wait is bounded by
 // invokeTimeout, like any other invocation.  The whole operation is
-// recorded as one span of the given kind; retries and backoff show up as
-// queue time.
-func (a *App) invokeObject(p sched.Proc, id uint64, method string, args []any, kind trace.SpanKind, shard string) (any, error) {
+// recorded as one span of the given kind; failed attempts and backoff
+// show up as retry time, each one also cause-linked as its own retry
+// span.  class, when set, enrolls the span in the SLO engine's
+// per-class accounting.
+func (a *App) invokeObject(p sched.Proc, id uint64, method string, args []any, kind trace.SpanKind, shard, class string) (any, error) {
 	first, err := a.entry(id)
 	if err != nil {
 		return nil, err
 	}
 	sr := a.rt.beginSpan(0, kind, first.ref, method)
 	sr.span.Shard = shard
+	sr.span.Class = class
 	var lastErr error
 	var loc string
 	var avoid map[string]bool // replica members that deflected or timed out
@@ -231,7 +234,7 @@ func (a *App) invokeObject(p sched.Proc, id uint64, method string, args []any, k
 	for p.Sched().Now() < deadline {
 		e, err := a.entry(id)
 		if err != nil {
-			sr.finish(loc, 0, err)
+			sr.finish(loc, 0, 0, err)
 			return nil, err
 		}
 		a.mu.Lock()
@@ -253,7 +256,7 @@ func (a *App) invokeObject(p sched.Proc, id uint64, method string, args []any, k
 		if err == nil {
 			sr.span.Staleness = resp.Staleness
 			a.world.noteRead(read, resp)
-			sr.finish(target, resp.Service, nil)
+			sr.finish(target, resp.Service, resp.LeaseWait, nil)
 			return resp.Result, nil
 		}
 		lastErr = err
@@ -263,9 +266,10 @@ func (a *App) invokeObject(p sched.Proc, id uint64, method string, args []any, k
 		// backing off lets detection and recovery repoint the entry).
 		if !rmi.IsRemote(err, errObjBusy) && !rmi.IsRemote(err, errObjMoved) &&
 			!rmi.IsRemote(err, errReplicaStale) && !errors.Is(err, rmi.ErrTimeout) {
-			sr.finish(target, 0, err)
+			sr.finish(target, 0, 0, err)
 			return nil, err
 		}
+		sr.noteRetry(target, err)
 		if read && target != loc {
 			// Fail over to another set member right away; once the whole
 			// set has been tried, back off and start over against the
@@ -285,7 +289,7 @@ func (a *App) invokeObject(p sched.Proc, id uint64, method string, args []any, k
 		}
 	}
 	err = fmt.Errorf("core: invocation of %q never caught up with migration: %w", method, lastErr)
-	sr.finish(loc, 0, err)
+	sr.finish(loc, 0, 0, err)
 	return nil, err
 }
 

@@ -329,8 +329,13 @@ func (rt *Runtime) invokeAtReplica(p sched.Proc, h *hostedObj, req invokeReq) (i
 	now := rt.world.s.Now()
 	needRenew := rs.mode == replica.Strong && now > rs.leaseUntil
 	rt.mu.Unlock()
+	var leaseWait time.Duration
 	if needRenew {
-		if err := rt.renewLease(p, h); err != nil {
+		watch := sched.StartWatch(rt.world.s)
+		err := rt.renewLease(p, h)
+		leaseWait = watch.Elapsed()
+		rt.world.reg.Histogram(metrics.Label("js_replica_lease_wait_us", "node", rt.Node()), nil).ObserveDuration(leaseWait)
+		if err != nil {
 			return invokeResp{}, errors.New(errReplicaStale)
 		}
 	}
@@ -347,7 +352,7 @@ func (rt *Runtime) invokeAtReplica(p sched.Proc, h *hostedObj, req invokeReq) (i
 	h.executing--
 	rt.mu.Unlock()
 	rt.world.reg.Counter(metrics.Label("js_replica_reads_total", "node", rt.Node())).Inc()
-	return invokeResp{Result: res, Service: service, Staleness: staleness, Replica: true}, err
+	return invokeResp{Result: res, Service: service, Staleness: staleness, LeaseWait: leaseWait, Replica: true}, err
 }
 
 // renewLease refreshes this replica's strong-mode lease from the
@@ -409,7 +414,13 @@ func (rt *Runtime) renewLease(p sched.Proc, h *hostedObj) error {
 // walks the sorted peers and uses the synchronous path until k have
 // confirmed (unreachable peers are dropped and the walk continues), so
 // the ack implies k durable copies; the rest get the one-way post.
-func (rt *Runtime) propagate(p sched.Proc, h *hostedObj, rs *replState) (delivered, syncDelivered int) {
+//
+// cause is the span id of the write being propagated: every per-peer
+// shipment is recorded as a cause-linked propagation span, so the
+// causal DAG shows what a write set in motion (the time is already
+// inside the write span's service/wire, so the analyzer does not walk
+// cause edges for attribution).
+func (rt *Runtime) propagate(p sched.Proc, h *hostedObj, rs *replState, cause uint64) (delivered, syncDelivered int) {
 	rt.mu.Lock()
 	inst := h.instance
 	rt.mu.Unlock()
@@ -437,17 +448,31 @@ func (rt *Runtime) propagate(p sched.Proc, h *hostedObj, rs *replState) (deliver
 	body := rmi.MustMarshal(req)
 	updates := rt.world.reg.Counter(metrics.Label("js_replica_updates_total", "mode", string(mode)))
 	for _, peer := range peers {
+		start := rt.world.s.Now()
+		sp := trace.Span{
+			ID: rt.world.spans.NextID(), Cause: cause,
+			App: h.ref.App, Obj: h.ref.ID, Method: "replicaUpdate",
+			Origin: rt.Node(), Target: peer, Kind: trace.SpanPropagate,
+			Start: start,
+		}
 		if syncDelivered < needSync {
 			if _, err := rt.st.Call(p, peer, PubService, "replicaUpdate", body, replicaCallTimeout); err != nil {
+				sp.Wire = rt.world.s.Now() - start
+				sp.Err = err.Error()
+				rt.world.observeSpan(sp)
 				rt.dropPeer(h, rs, peer, err)
 				continue
 			}
 			syncDelivered++
 		} else {
 			if err := rt.st.Post(p, peer, PubService, "replicaUpdate", body); err != nil {
+				sp.Err = err.Error()
+				rt.world.observeSpan(sp)
 				continue
 			}
 		}
+		sp.Wire = rt.world.s.Now() - start
+		rt.world.observeSpan(sp)
 		delivered++
 		updates.Inc()
 	}

@@ -417,7 +417,7 @@ func (rt *Runtime) invoke(p sched.Proc, req invokeReq) (invokeResp, error) {
 	}
 	res, service, err := rt.execMethod(p, inst, req)
 	if primaryWrite && err == nil {
-		_, syncDelivered := rt.propagate(p, h, rs)
+		_, syncDelivered := rt.propagate(p, h, rs, req.Span)
 		if syncWrite && syncDelivered == 0 && undo != nil {
 			// No peer saw the write synchronously: acking it would claim
 			// durability the set cannot provide (and a fenced-off zombie
@@ -603,9 +603,11 @@ func (rt *Runtime) loadStored(req loadReq) error {
 // spanRec accumulates one invocation's span across retry attempts; it is
 // created when the operation starts and finished exactly once.
 type spanRec struct {
-	rt      *Runtime
-	span    trace.Span
-	attempt time.Duration // scheduler time the current attempt started
+	rt       *Runtime
+	span     trace.Span
+	first    time.Duration // scheduler time the first attempt started
+	attempt  time.Duration // scheduler time the current attempt started
+	attempts int
 }
 
 // beginSpan opens a span for an invocation issued from this node.  The
@@ -620,29 +622,58 @@ func (rt *Runtime) beginSpan(parent uint64, kind trace.SpanKind, ref Ref, method
 			App: ref.App, Obj: ref.ID, Method: method,
 			Origin: rt.Node(), Kind: kind, Start: now,
 		},
+		first:   now,
 		attempt: now,
 	}
 }
 
-// beginAttempt marks the start of one invocation attempt; everything
-// before the final attempt counts as queue time (locates, busy/moved
-// retries, backoff).
-func (s *spanRec) beginAttempt() { s.attempt = s.rt.world.s.Now() }
+// beginAttempt marks the start of one invocation attempt.  The first
+// call pins the queue/retry boundary: time before the first attempt is
+// queue (locates, routing), time between the first and the final
+// attempt is retry (failed attempts, backoff).
+func (s *spanRec) beginAttempt() {
+	now := s.rt.world.s.Now()
+	if s.attempts == 0 {
+		s.first = now
+	}
+	s.attempts++
+	s.attempt = now
+}
 
-// finish completes the span: queue is the pre-attempt time, wire the
-// attempt round trip minus the reported service time.
-func (s *spanRec) finish(target string, service time.Duration, err error) {
+// noteRetry records one failed, about-to-be-retried attempt as its own
+// span, cause-linked to the request span so the causal DAG shows why
+// the request stalled without double-counting the time (the request
+// span's Retry segment already carries it).
+func (s *spanRec) noteRetry(target string, err error) {
+	now := s.rt.world.s.Now()
+	s.rt.world.observeSpan(trace.Span{
+		ID: s.rt.world.spans.NextID(), Cause: s.span.ID,
+		App: s.span.App, Obj: s.span.Obj, Method: s.span.Method,
+		Origin: s.span.Origin, Target: target, Kind: trace.SpanRetry,
+		Start: s.attempt, Wire: now - s.attempt, Err: err.Error(),
+	})
+}
+
+// finish completes the span with the five-way latency decomposition:
+// queue (before the first attempt), retry (first to final attempt),
+// service and lease-wait (reported by the host), wire (the remainder of
+// the final round trip).  The segments sum to end-to-end latency
+// exactly, which is what lets the critical-path analyzer attribute
+// ~100% of a request's time.
+func (s *spanRec) finish(target string, service, leaseWait time.Duration, err error) {
 	now := s.rt.world.s.Now()
 	s.span.Target = target
-	s.span.Queue = s.attempt - s.span.Start
+	s.span.Queue = s.first - s.span.Start
+	s.span.Retry = s.attempt - s.first
 	s.span.Service = service
-	if wire := now - s.attempt - service; wire > 0 {
+	s.span.LeaseWait = leaseWait
+	if wire := now - s.attempt - service - leaseWait; wire > 0 {
 		s.span.Wire = wire
 	}
 	if err != nil {
 		s.span.Err = err.Error()
 	}
-	s.rt.world.spans.Record(s.span)
+	s.rt.world.observeSpan(s.span)
 }
 
 // InvokeRef performs a synchronous invocation through a first-order
@@ -697,16 +728,17 @@ func (rt *Runtime) InvokeRefTraced(p sched.Proc, parent uint64, kind trace.SpanK
 			rt.mu.Unlock()
 			sr.span.Staleness = resp.Staleness
 			rt.world.noteRead(read, resp)
-			sr.finish(target, resp.Service, nil)
+			sr.finish(target, resp.Service, resp.LeaseWait, nil)
 			return resp.Result, nil
 		}
 		lastErr = err
 		if !rmi.IsRemote(err, errObjMoved) && !rmi.IsRemote(err, errObjBusy) &&
 			!rmi.IsRemote(err, errObjUnknown) && !rmi.IsRemote(err, errReplicaStale) &&
 			!errors.Is(err, rmi.ErrTimeout) {
-			sr.finish(target, 0, err)
+			sr.finish(target, 0, 0, err)
 			return nil, err
 		}
+		sr.noteRetry(target, err)
 		if read && target != loc {
 			// The read replica deflected or is unreachable: fail over to
 			// another member right away; the re-locate below refreshes
@@ -729,13 +761,13 @@ func (rt *Runtime) InvokeRefTraced(p sched.Proc, parent uint64, kind trace.SpanK
 		newLoc, newSet, err2 := rt.locate(p, ref)
 		if err2 != nil {
 			err2 = fmt.Errorf("oas: relocating %s/%d: %w", ref.App, ref.ID, err2)
-			sr.finish(target, 0, err2)
+			sr.finish(target, 0, 0, err2)
 			return nil, err2
 		}
 		loc, set = newLoc, newSet
 	}
 	err := fmt.Errorf("oas: invocation kept missing migrating object: %w", lastErr)
-	sr.finish(loc, 0, err)
+	sr.finish(loc, 0, 0, err)
 	return nil, err
 }
 

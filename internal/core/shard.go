@@ -20,6 +20,7 @@ import (
 	"sort"
 	"sync"
 
+	"jsymphony/internal/heat"
 	"jsymphony/internal/metrics"
 	"jsymphony/internal/nas"
 	"jsymphony/internal/replica"
@@ -27,6 +28,13 @@ import (
 	"jsymphony/internal/shard"
 	"jsymphony/internal/trace"
 	"jsymphony/internal/virtarch"
+)
+
+// Request classes keyed invocations enroll in the SLO engine under:
+// declared reads are "read", everything else "write".
+const (
+	ClassRead  = "read"
+	ClassWrite = "write"
 )
 
 // ShardSpec declares a shard group.
@@ -101,7 +109,8 @@ type ShardGroup struct {
 	shards  map[string]*Object // shard name -> object handle
 	seq     int                // next shard index (names survive removals)
 	reads   map[string]bool
-	flights map[string]*flight // in-flight coalescible reads
+	flights map[string]*flight      // in-flight coalescible reads
+	heat    map[string]*heat.Sketch // shard name -> per-key heat sketch
 }
 
 // flight is one in-flight coalescible read: the leader performs the
@@ -142,6 +151,7 @@ func (a *App) NewShardGroup(p sched.Proc, name, class string, spec ShardSpec) (*
 		shards:  make(map[string]*Object),
 		reads:   make(map[string]bool, len(spec.Reads)),
 		flights: make(map[string]*flight),
+		heat:    make(map[string]*heat.Sketch),
 	}
 	for _, m := range spec.Reads {
 		g.reads[m] = true
@@ -210,6 +220,7 @@ func (g *ShardGroup) addShard(p sched.Proc, node string) (string, error) {
 	g.seq++
 	g.shards[sname] = obj
 	g.ring.Add(sname)
+	g.heat[sname] = heat.New(heat.DefaultCapacity)
 	g.mu.Unlock()
 	return sname, nil
 }
@@ -249,13 +260,16 @@ func (g *ShardGroup) Invoke(p sched.Proc, key, method string, args ...any) (any,
 	owner := g.ring.Owner(key)
 	obj := g.shards[owner]
 	isRead := g.reads[method]
+	if sk := g.heat[owner]; sk != nil {
+		sk.Touch(key)
+	}
 	g.mu.Unlock()
 	if obj == nil {
 		return nil, fmt.Errorf("core: shard group %s has no shards", g.name)
 	}
 	g.app.world.reg.Counter(metrics.Label("js_shard_invokes_total", "group", g.name)).Inc()
 	if !isRead {
-		return g.app.invokeObject(p, obj.id, method, args, trace.SpanSync, owner)
+		return g.app.invokeObject(p, obj.id, method, args, trace.SpanSync, owner, ClassWrite)
 	}
 	return g.coalesce(p, owner, obj, method, args)
 }
@@ -272,17 +286,22 @@ func (g *ShardGroup) coalesce(p sched.Proc, owner string, obj *Object, method st
 		f.waiters = append(f.waiters, q)
 		g.mu.Unlock()
 		g.app.world.reg.Counter(metrics.Label("js_shard_coalesced_total", "group", g.name)).Inc()
+		// A follower is still one finished request: it spends real time
+		// parked on the leader, so it feeds the read class's SLO
+		// accounting even though no span of its own crosses the wire.
+		watch := sched.StartWatch(g.app.world.s)
 		v, ok := p.Recv(q)
 		if !ok {
 			return nil, errors.New("core: shard group shut down mid-flight")
 		}
 		r := v.(flightResult)
+		g.app.world.observeRequest(ClassRead, watch.Elapsed(), r.err != nil)
 		return r.res, r.err
 	}
 	f := &flight{}
 	g.flights[fkey] = f
 	g.mu.Unlock()
-	res, err := g.app.invokeObject(p, obj.id, method, args, trace.SpanSync, owner)
+	res, err := g.app.invokeObject(p, obj.id, method, args, trace.SpanSync, owner, ClassRead)
 	g.mu.Lock()
 	delete(g.flights, fkey)
 	waiters := f.waiters
@@ -329,7 +348,7 @@ func (g *ShardGroup) Grow(p sched.Proc, node string) (string, error) {
 		if src == nil {
 			continue
 		}
-		keysAny, err := g.app.invokeObject(p, src.id, g.spec.KeysMethod, nil, trace.SpanSync, old)
+		keysAny, err := g.app.invokeObject(p, src.id, g.spec.KeysMethod, nil, trace.SpanSync, old, "")
 		if err != nil {
 			return sname, fmt.Errorf("core: handoff keys from %s: %w", old, err)
 		}
@@ -343,11 +362,11 @@ func (g *ShardGroup) Grow(p sched.Proc, node string) (string, error) {
 		if len(leaving) == 0 {
 			continue
 		}
-		data, err := g.app.invokeObject(p, src.id, g.spec.ExtractMethod, []any{leaving}, trace.SpanSync, old)
+		data, err := g.app.invokeObject(p, src.id, g.spec.ExtractMethod, []any{leaving}, trace.SpanSync, old, "")
 		if err != nil {
 			return sname, fmt.Errorf("core: handoff extract from %s: %w", old, err)
 		}
-		if _, err := g.app.invokeObject(p, newObj.id, g.spec.InstallMethod, []any{data}, trace.SpanSync, sname); err != nil {
+		if _, err := g.app.invokeObject(p, newObj.id, g.spec.InstallMethod, []any{data}, trace.SpanSync, sname, ""); err != nil {
 			return sname, fmt.Errorf("core: handoff install into %s: %w", sname, err)
 		}
 		moved += len(leaving)
@@ -401,6 +420,42 @@ func (g *ShardGroup) Evacuate(p sched.Proc, node string) error {
 			Detail: fmt.Sprintf("%s: %d shards migrated off", g.name, movedShards)})
 	}
 	return firstErr
+}
+
+// ShardHeat is one shard's hot-key table.
+type ShardHeat struct {
+	Shard string       `json:"shard"`
+	Keys  []heat.Entry `json:"keys"`
+}
+
+// Heat returns each shard's k hottest keys (k <= 0 returns all tracked
+// keys), shards in ring order, keys by (count desc, key asc) — the
+// deterministic order the sketch guarantees.
+func (g *ShardGroup) Heat(k int) []ShardHeat {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]ShardHeat, 0, len(g.heat))
+	for _, sname := range g.ring.Members() {
+		sk := g.heat[sname]
+		if sk == nil {
+			continue
+		}
+		out = append(out, ShardHeat{Shard: sname, Keys: sk.TopK(k)})
+	}
+	return out
+}
+
+// PublishHeat exports each shard's k hottest keys as
+// js_shard_key_heat{group,shard,key} gauges.  Counts are upper bounds
+// (space-saving semantics); hostile key bytes survive the label
+// round-trip because labels are Go-quoted in the registry.
+func (g *ShardGroup) PublishHeat(k int) {
+	for _, sh := range g.Heat(k) {
+		for _, e := range sh.Keys {
+			g.app.world.reg.Gauge(metrics.Label("js_shard_key_heat",
+				"group", g.name, "shard", sh.Shard, "key", e.Key)).Set(float64(e.Count))
+		}
+	}
 }
 
 // ShardInfo describes one shard member for inspection.

@@ -72,10 +72,14 @@ type (
 	// replicated object serves the call: a caller whose first-guess
 	// target was right never re-locates, so without the piggyback it
 	// would never learn the set and never route its reads.
+	// LeaseWait is the time the serving replica spent renewing an
+	// expired strong-mode lease before it could answer, so the caller's
+	// span can attribute that stall separately from wire time.
 	invokeResp struct {
 		Result    any
 		Service   time.Duration
 		Staleness time.Duration
+		LeaseWait time.Duration
 		Replica   bool
 		RSet      replica.Set
 	}

@@ -9,6 +9,7 @@ import (
 
 	"jsymphony/internal/chaos"
 	"jsymphony/internal/codebase"
+	flightrec "jsymphony/internal/flight"
 	"jsymphony/internal/metrics"
 	"jsymphony/internal/nas"
 	"jsymphony/internal/params"
@@ -16,6 +17,7 @@ import (
 	"jsymphony/internal/rmi"
 	"jsymphony/internal/sched"
 	"jsymphony/internal/simnet"
+	"jsymphony/internal/slo"
 	"jsymphony/internal/trace"
 	"jsymphony/internal/vclock"
 )
@@ -68,6 +70,14 @@ type World struct {
 	spans  *trace.SpanLog
 	reg    *metrics.Registry
 	router *replica.Router // nearest-replica read routing
+	slo    *slo.Engine     // per-class latency objectives
+
+	// The flight recorder has its own mutex: dump triggers fire from
+	// emit and from the SLO engine's breach callback, and a dump reads
+	// back through the tracer/metrics/slo surfaces — none of which may
+	// happen under w.mu.
+	flightMu  sync.Mutex
+	flightRec *flightrec.Recorder
 
 	mu          sync.Mutex
 	runtimes    map[string]*Runtime
@@ -160,7 +170,7 @@ func synthSampler(name string, i int) *nas.SynthSampler {
 }
 
 func newWorld(s sched.Sched, opt Options) *World {
-	return &World{
+	w := &World{
 		s:        s,
 		storage:  opt.Storage,
 		registry: opt.Registry,
@@ -173,6 +183,8 @@ func newWorld(s sched.Sched, opt Options) *World {
 		reg:      metrics.NewRegistry(),
 		router:   replica.NewRouter(),
 	}
+	w.slo = slo.NewEngine(s.Now, slo.Options{OnBreach: w.onSLOBreach})
+	return w
 }
 
 // addNode attaches one node: station, agent, runtime.  The first node
@@ -305,9 +317,99 @@ func (w *World) Apps() []*App {
 }
 
 // emit records an installation event with the current scheduler time.
+// An injected chaos fault additionally trips the flight recorder (when
+// armed): the dump captures the installation's state at the moment the
+// fault landed, before the blast radius unfolds.
 func (w *World) emit(e trace.Event) {
 	e.At = w.s.Now()
 	w.tracer.Emit(e)
+	if e.Kind == trace.ChaosFault {
+		w.triggerFlightDump("chaos: " + e.Detail)
+	}
+}
+
+// observeSpan files one finished span: into the span log always, and —
+// for classified request spans — into the SLO engine.  Retry and
+// propagation spans are causal annotations, not requests: their time is
+// already inside their causing span's segments.
+func (w *World) observeSpan(sp trace.Span) {
+	w.spans.Record(sp)
+	if sp.Kind == trace.SpanRetry || sp.Kind == trace.SpanPropagate {
+		return
+	}
+	w.observeRequest(sp.Class, sp.Total(), sp.Err != "")
+}
+
+// observeRequest feeds one finished classified request to the SLO
+// engine and the per-class exporter metrics.  Coalesced shard reads use
+// it directly: a follower is a finished request with no span of its own.
+func (w *World) observeRequest(class string, latency time.Duration, failed bool) {
+	if class == "" {
+		return
+	}
+	miss := w.slo.Record(class, latency, failed)
+	w.reg.Counter(metrics.Label("js_slo_requests_total", "class", class)).Inc()
+	w.reg.Histogram(metrics.Label("js_slo_latency_us", "class", class), nil).ObserveDuration(latency)
+	if miss {
+		w.reg.Counter(metrics.Label("js_slo_misses_total", "class", class)).Inc()
+	}
+}
+
+// SLOEngine returns the installation's objective engine.
+func (w *World) SLOEngine() *slo.Engine { return w.slo }
+
+// DeclareSLO installs one request-class latency objective.
+func (w *World) DeclareSLO(s slo.SLO) error { return w.slo.Declare(s) }
+
+// SLOReport snapshots per-class attainment.
+func (w *World) SLOReport() slo.Report { return w.slo.Report() }
+
+// onSLOBreach reacts to a class burning its error budget past the
+// engine's threshold: trace it, count it, and trip the flight recorder.
+// The engine invokes this outside its lock, so the dump may read the
+// SLO report back.
+func (w *World) onSLOBreach(class string, burn float64) {
+	w.emit(trace.Event{Kind: trace.SLOBreach, Node: w.dirNode,
+		Detail: fmt.Sprintf("class %s burn %.1f", class, burn)})
+	w.reg.Counter(metrics.Label("js_slo_breaches_total", "class", class)).Inc()
+	w.triggerFlightDump(fmt.Sprintf("slo: class %s burn %.1f", class, burn))
+}
+
+// ArmFlightRecorder installs the incident flight recorder (idempotent;
+// the first call wins).  Once armed, chaos faults and SLO burn-rate
+// breaches capture dumps automatically; Trigger captures one on demand.
+func (w *World) ArmFlightRecorder(opt flightrec.Options) *flightrec.Recorder {
+	w.flightMu.Lock()
+	defer w.flightMu.Unlock()
+	if w.flightRec == nil {
+		w.flightRec = flightrec.New(flightrec.Sources{
+			Now:     w.s.Now,
+			Events:  w.tracer.Events,
+			Spans:   w.spans.Spans,
+			Metrics: w.reg.Snapshot,
+			SLO:     w.slo.Report,
+		}, opt)
+	}
+	return w.flightRec
+}
+
+// FlightRecorder returns the armed recorder (nil before
+// ArmFlightRecorder).
+func (w *World) FlightRecorder() *flightrec.Recorder {
+	w.flightMu.Lock()
+	defer w.flightMu.Unlock()
+	return w.flightRec
+}
+
+// triggerFlightDump captures a dump if a recorder is armed.
+func (w *World) triggerFlightDump(reason string) {
+	w.flightMu.Lock()
+	rec := w.flightRec
+	w.flightMu.Unlock()
+	if rec != nil {
+		rec.Trigger(reason)
+		w.reg.Counter("js_flight_dumps_total").Inc()
+	}
 }
 
 // NASConfig returns the effective network-agent configuration.

@@ -1,0 +1,95 @@
+package flight
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"jsymphony/internal/metrics"
+	"jsymphony/internal/slo"
+	"jsymphony/internal/trace"
+)
+
+func testSources(now *time.Duration, nEvents, nSpans int) Sources {
+	return Sources{
+		Now: func() time.Duration { return *now },
+		Events: func() []trace.Event {
+			out := make([]trace.Event, nEvents)
+			for i := range out {
+				out[i] = trace.Event{Seq: uint64(i + 1), Kind: trace.ObjInvoked, Detail: fmt.Sprintf("e%d", i)}
+			}
+			return out
+		},
+		Spans: func() []trace.Span {
+			out := make([]trace.Span, nSpans)
+			for i := range out {
+				out[i] = trace.Span{ID: uint64(i + 1), Method: fmt.Sprintf("m%d", i)}
+			}
+			return out
+		},
+		Metrics: func() metrics.Snapshot { return metrics.Snapshot{} },
+		SLO:     func() slo.Report { return slo.Report{} },
+	}
+}
+
+// TestTriggerTruncates: dumps keep only the most recent events/spans.
+func TestTriggerTruncates(t *testing.T) {
+	now := 3 * time.Second
+	r := New(testSources(&now, 10, 10), Options{MaxEvents: 4, MaxSpans: 3})
+	d := r.Trigger("chaos: node crash")
+	if d.Seq != 1 || d.AtUs != 3_000_000 || d.Reason != "chaos: node crash" {
+		t.Fatalf("dump header = %+v", d)
+	}
+	if len(d.Events) != 4 || d.Events[0].Seq != 7 {
+		t.Fatalf("events = %+v", d.Events)
+	}
+	if len(d.Spans) != 3 || d.Spans[0].ID != 8 {
+		t.Fatalf("spans = %+v", d.Spans)
+	}
+}
+
+// TestRingBound: the dump ring drops the oldest past capacity but the
+// trigger count keeps climbing.
+func TestRingBound(t *testing.T) {
+	now := time.Duration(0)
+	r := New(testSources(&now, 0, 0), Options{Dumps: 2})
+	for i := 0; i < 5; i++ {
+		r.Trigger(fmt.Sprintf("r%d", i))
+	}
+	dumps := r.Dumps()
+	if len(dumps) != 2 || dumps[0].Seq != 4 || dumps[1].Seq != 5 {
+		t.Fatalf("dumps = %+v", dumps)
+	}
+	if r.Len() != 5 {
+		t.Fatalf("len = %d", r.Len())
+	}
+}
+
+// TestWriteJSONDeterministic: identical recorder state serializes
+// byte-identically, and an empty recorder writes an empty array.
+func TestWriteJSONDeterministic(t *testing.T) {
+	build := func() *Recorder {
+		now := 7 * time.Millisecond
+		r := New(testSources(&now, 2, 2), Options{})
+		r.Trigger("breach: read burn 4.0")
+		return r
+	}
+	var a, b bytes.Buffer
+	if err := build().WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("twin serializations differ:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	var empty bytes.Buffer
+	if err := New(Sources{}, Options{}).WriteJSON(&empty); err != nil {
+		t.Fatal(err)
+	}
+	if empty.String() != "[]\n" {
+		t.Fatalf("empty recorder wrote %q", empty.String())
+	}
+}

@@ -28,15 +28,20 @@ package metrics
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+	"unicode/utf8"
 )
 
 // Label renders a metric name with inline labels: Label("m", "a", "1",
 // "b", "2") == `m{a="1",b="2"}`.  Pairs must come in key, value order;
-// callers must use a consistent key order for the same metric.
+// callers must use a consistent key order for the same metric.  Values
+// may contain arbitrary bytes (key names from application key spaces
+// end up here): they are Go-quoted, so the rendered name is a single
+// unambiguous line and ParseLabels recovers the original value exactly.
 func Label(name string, kv ...string) string {
 	if len(kv) == 0 {
 		return name
@@ -48,7 +53,9 @@ func Label(name string, kv ...string) string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", kv[i], kv[i+1])
+		b.WriteString(kv[i])
+		b.WriteByte('=')
+		b.WriteString(strconv.Quote(kv[i+1]))
 	}
 	b.WriteByte('}')
 	return b.String()
@@ -61,6 +68,97 @@ func splitName(name string) (base, labels string) {
 		return name[:i], name[i+1 : len(name)-1]
 	}
 	return name, ""
+}
+
+// ParseLabels is the inverse of Label: it splits an inline-labeled name
+// into its base and the original key/value pairs, unquoting each value.
+// Quoted values may contain commas, braces, and escape sequences; the
+// scan respects the quoting, so hostile values round-trip byte-exact.
+func ParseLabels(name string) (base string, kv []string, err error) {
+	base, body := splitName(name)
+	for body != "" {
+		eq := strings.IndexByte(body, '=')
+		if eq < 0 || eq+1 >= len(body) || body[eq+1] != '"' {
+			return base, kv, fmt.Errorf("metrics: malformed label body %q", body)
+		}
+		key := body[:eq]
+		rest := body[eq+1:] // starts at the opening quote
+		val, tail, e := unquotePrefix(rest)
+		if e != nil {
+			return base, kv, fmt.Errorf("metrics: bad label value in %q: %w", name, e)
+		}
+		kv = append(kv, key, val)
+		body = strings.TrimPrefix(tail, ",")
+		if body == tail && tail != "" {
+			return base, kv, fmt.Errorf("metrics: trailing junk %q in %q", tail, name)
+		}
+	}
+	return base, kv, nil
+}
+
+// unquotePrefix unquotes the Go-quoted string s starts with and returns
+// the remainder after the closing quote.
+func unquotePrefix(s string) (val, rest string, err error) {
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++ // skip the escaped byte
+		case '"':
+			val, err = strconv.Unquote(s[:i+1])
+			return val, s[i+1:], err
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quote in %q", s)
+}
+
+// promLabelValue renders one label value for the Prometheus text
+// exposition format, which only knows the \\, \", and \n escapes:
+// other control bytes and invalid UTF-8 sequences (legal in our label
+// values — application keys are arbitrary bytes) are sanitized to the
+// Unicode replacement character so the emitted line always parses.
+func promLabelValue(v string) string {
+	var b strings.Builder
+	for i := 0; i < len(v); {
+		r, size := utf8.DecodeRuneInString(v[i:])
+		switch {
+		case r == utf8.RuneError && size == 1: // invalid UTF-8 byte
+			b.WriteRune(utf8.RuneError)
+		case r == '\\':
+			b.WriteString(`\\`)
+		case r == '"':
+			b.WriteString(`\"`)
+		case r == '\n':
+			b.WriteString(`\n`)
+		case r < 0x20 || r == 0x7f: // other control bytes: sanitize
+			b.WriteRune(utf8.RuneError)
+		default:
+			b.WriteRune(r)
+		}
+		i += size
+	}
+	return b.String()
+}
+
+// promLabelBody re-renders a (Go-quoted) label body in Prometheus
+// escaping.  A body that fails to parse is passed through unchanged —
+// better a raw line than a dropped series.
+func promLabelBody(name string) string {
+	_, kv, err := ParseLabels(name)
+	if err != nil {
+		_, body := splitName(name)
+		return body
+	}
+	var b strings.Builder
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(promLabelValue(kv[i+1]))
+		b.WriteByte('"')
+	}
+	return b.String()
 }
 
 // Counter is a monotonically increasing integer.

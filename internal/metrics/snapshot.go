@@ -93,21 +93,34 @@ func (s Snapshot) WriteJSON(w io.Writer) error {
 // WritePrometheus writes the snapshot in the Prometheus text exposition
 // format (counters as *_total-style counters, gauges as gauges,
 // histograms with cumulative le buckets, _sum, and _count series).
+// Label values are re-escaped from the registry's Go quoting to the
+// exposition format's \\ \" \n escapes, sanitizing bytes the format
+// cannot carry, so series named after arbitrary application keys still
+// emit parseable lines.
 func (s Snapshot) WritePrometheus(w io.Writer) error {
 	for _, c := range s.Counters {
-		base, _ := splitName(c.Name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", base, c.Name, c.Value); err != nil {
+		base, labels := splitName(c.Name)
+		if labels != "" {
+			labels = promLabelBody(c.Name)
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s%s %d\n", base, base, braced(labels), c.Value); err != nil {
 			return err
 		}
 	}
 	for _, g := range s.Gauges {
-		base, _ := splitName(g.Name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", base, g.Name, g.Value); err != nil {
+		base, labels := splitName(g.Name)
+		if labels != "" {
+			labels = promLabelBody(g.Name)
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s%s %g\n", base, base, braced(labels), g.Value); err != nil {
 			return err
 		}
 	}
 	for _, h := range s.Histograms {
 		base, labels := splitName(h.Name)
+		if labels != "" {
+			labels = promLabelBody(h.Name)
+		}
 		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", base); err != nil {
 			return err
 		}
@@ -128,6 +141,88 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) of the recorded
+// distribution from the bucket counts: the upper bound of the bucket
+// the rank falls in (the last finite bound for overflow observations,
+// or the mean when the histogram has no finite buckets).  An empty
+// histogram reports 0.  Being a pure function of the snapshot, the
+// estimate is deterministic.
+func (h HistSnap) Quantile(q float64) int64 {
+	if h.Count == 0 {
+		return 0
+	}
+	rank := int64(q * float64(h.Count))
+	if float64(rank) < q*float64(h.Count) || rank == 0 {
+		rank++ // ceil, at least the first observation
+	}
+	if rank > h.Count {
+		rank = h.Count
+	}
+	cum := int64(0)
+	for i, n := range h.Counts {
+		cum += n
+		if cum >= rank {
+			if i < len(h.Bounds) {
+				return h.Bounds[i]
+			}
+			break
+		}
+	}
+	// Rank falls in the +Inf overflow bucket: the bounds cannot place
+	// it, so report the best upper estimate available.
+	if len(h.Bounds) > 0 {
+		if mean := h.Sum / h.Count; mean > h.Bounds[len(h.Bounds)-1] {
+			return mean
+		}
+		return h.Bounds[len(h.Bounds)-1]
+	}
+	return h.Sum / h.Count
+}
+
+// Merge combines another snapshot into this one, returning the union.
+// The layouts need not match: the merged histogram uses the union of
+// both bound sets, and every source bucket's count lands in the union
+// bucket sharing its upper bound (each source bound is in the union,
+// so no count crosses a bound it was below).  Overflow counts stay in
+// overflow.
+func (h HistSnap) Merge(o HistSnap) HistSnap {
+	bounds := make([]int64, 0, len(h.Bounds)+len(o.Bounds))
+	bounds = append(bounds, h.Bounds...)
+	bounds = append(bounds, o.Bounds...)
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+	uniq := bounds[:0]
+	for i, b := range bounds {
+		if i == 0 || b != uniq[len(uniq)-1] {
+			uniq = append(uniq, b)
+		}
+	}
+	bounds = uniq
+	idx := make(map[int64]int, len(bounds))
+	for i, b := range bounds {
+		idx[b] = i
+	}
+	counts := make([]int64, len(bounds)+1)
+	add := func(src HistSnap) {
+		for i, n := range src.Counts {
+			if i < len(src.Bounds) {
+				counts[idx[src.Bounds[i]]] += n
+			} else {
+				counts[len(bounds)] += n
+			}
+		}
+	}
+	add(h)
+	add(o)
+	name := h.Name
+	if name == "" {
+		name = o.Name
+	}
+	return HistSnap{
+		Name: name, Bounds: bounds, Counts: counts,
+		Count: h.Count + o.Count, Sum: h.Sum + o.Sum,
+	}
 }
 
 // joinLabels appends extra to a label body.

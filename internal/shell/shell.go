@@ -87,8 +87,18 @@ func (s *Shell) Exec(p sched.Proc, line string) (string, error) {
 		}
 		return s.hist(args[0])
 	case "spans":
+		if len(args) >= 1 && args[0] == "-slow" {
+			if len(args) != 2 {
+				return "", fmt.Errorf("usage: spans -slow <n>")
+			}
+			n, err := strconv.Atoi(args[1])
+			if err != nil || n <= 0 {
+				return "", fmt.Errorf("bad count %q", args[1])
+			}
+			return s.slowSpans(n), nil
+		}
 		if len(args) > 1 {
-			return "", fmt.Errorf("usage: spans [app[/obj]]")
+			return "", fmt.Errorf("usage: spans [app[/obj]] | spans -slow <n>")
 		}
 		sel := ""
 		if len(args) == 1 {
@@ -96,7 +106,40 @@ func (s *Shell) Exec(p sched.Proc, line string) (string, error) {
 		}
 		return s.spans(sel)
 	case "top":
-		return s.top(), nil
+		if len(args) > 1 {
+			return "", fmt.Errorf("usage: top [util|load|objects|calls|served]")
+		}
+		key := ""
+		if len(args) == 1 {
+			key = args[0]
+		}
+		return s.top(key)
+	case "slo":
+		return s.w.SLOReport().Format(), nil
+	case "hotkeys":
+		k := 10
+		if len(args) == 1 {
+			var err error
+			if k, err = strconv.Atoi(args[0]); err != nil || k <= 0 {
+				return "", fmt.Errorf("bad count %q", args[0])
+			}
+		} else if len(args) > 1 {
+			return "", fmt.Errorf("usage: hotkeys [k]")
+		}
+		return s.hotkeys(k), nil
+	case "critpath":
+		if len(args) != 1 {
+			return "", fmt.Errorf("usage: critpath <spanid>")
+		}
+		id, err := strconv.ParseUint(args[0], 10, 64)
+		if err != nil {
+			return "", fmt.Errorf("bad span id %q", args[0])
+		}
+		cp, err := trace.AnalyzeCritPath(s.w.Spans().Spans(), id)
+		if err != nil {
+			return "", err
+		}
+		return cp.Format(), nil
 	case "storage":
 		return s.storage()
 	case "automigrate":
@@ -130,7 +173,12 @@ const helpText = `JS-Shell commands:
   metrics [prefix]              Prometheus-style dump of the metrics registry
   hist <name>                   ASCII rendering of one histogram
   spans [app[/obj]]             invocation spans, optionally per app or object
-  top                           per-node utilization, load, objects, traffic
+  spans -slow <n>               the n slowest invocations, slowest first
+  top [metric]                  per-node utilization, load, objects, traffic;
+                                sort by util, load, objects, calls, or served
+  slo                           per-class latency objectives and attainment
+  hotkeys [k]                   each shard's k hottest keys (default 10)
+  critpath <spanid>             a request's critical-path latency breakdown
   storage                       list persistent object keys
   replicas                      replica sets: primary, members, mode, lease
   shards                        shard groups: ring members, hosting, replicas
@@ -299,32 +347,127 @@ func (s *Shell) spans(sel string) (string, error) {
 	return b.String(), nil
 }
 
+// topRow is one node's load line, kept numeric so the view can sort by
+// any column.
+type topRow struct {
+	node       string
+	util, load float64
+	hasFab     bool
+	objects    int
+	calls      int64
+	served     int64
+}
+
 // top is the operator's load view: per-node utilization and background
 // load straight from the fabric (simulated installations), plus object
-// population and wire traffic.
-func (s *Shell) top() string {
-	var b strings.Builder
+// population and wire traffic.  key sorts rows descending by one metric
+// (util, load, objects, calls, served); "" keeps attach order.
+func (s *Shell) top(key string) (string, error) {
 	now := s.w.Sched().Now()
 	fab := s.w.Fabric()
-	fmt.Fprintf(&b, "%-12s %6s %6s %8s %8s %8s\n",
-		"NODE", "UTIL%", "LOAD%", "OBJECTS", "CALLS", "SERVED")
+	var rows []topRow
 	for _, n := range s.w.Nodes() {
-		util, load := "-", "-"
+		r := topRow{node: n}
 		if fab != nil {
 			if m, ok := fab.ByName(n); ok {
 				d := m.Snapshot(vclock.Time(now))
-				util = fmt.Sprintf("%.1f", d.Util*100)
-				load = fmt.Sprintf("%.1f", d.Load*100)
+				r.util, r.load, r.hasFab = d.Util*100, d.Load*100, true
 			}
 		}
-		var objs int
-		var st rmi.StatsSnapshot
 		if rt, ok := s.w.Runtime(n); ok {
-			objs = rt.Objects()
-			st = rt.Station().Stats()
+			r.objects = rt.Objects()
+			st := rt.Station().Stats()
+			r.calls, r.served = st.CallsSent, st.Served
+		}
+		rows = append(rows, r)
+	}
+	var metric func(r topRow) float64
+	switch key {
+	case "":
+	case "util":
+		metric = func(r topRow) float64 { return r.util }
+	case "load":
+		metric = func(r topRow) float64 { return r.load }
+	case "objects":
+		metric = func(r topRow) float64 { return float64(r.objects) }
+	case "calls":
+		metric = func(r topRow) float64 { return float64(r.calls) }
+	case "served":
+		metric = func(r topRow) float64 { return float64(r.served) }
+	default:
+		return "", fmt.Errorf("unknown top metric %q (util, load, objects, calls, served)", key)
+	}
+	if metric != nil {
+		sort.SliceStable(rows, func(i, j int) bool {
+			if metric(rows[i]) != metric(rows[j]) {
+				return metric(rows[i]) > metric(rows[j])
+			}
+			return rows[i].node < rows[j].node
+		})
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %6s %6s %8s %8s %8s\n",
+		"NODE", "UTIL%", "LOAD%", "OBJECTS", "CALLS", "SERVED")
+	for _, r := range rows {
+		util, load := "-", "-"
+		if r.hasFab {
+			util = fmt.Sprintf("%.1f", r.util)
+			load = fmt.Sprintf("%.1f", r.load)
 		}
 		fmt.Fprintf(&b, "%-12s %6s %6s %8d %8d %8d\n",
-			n, util, load, objs, st.CallsSent, st.Served)
+			r.node, util, load, r.objects, r.calls, r.served)
+	}
+	return b.String(), nil
+}
+
+// slowSpans lists the n slowest recorded invocations, slowest first
+// (ties by span id, so the listing is deterministic).
+func (s *Shell) slowSpans(n int) string {
+	list := s.w.Spans().Spans()
+	if len(list) == 0 {
+		return "(no spans)\n"
+	}
+	sort.SliceStable(list, func(i, j int) bool {
+		if list[i].Total() != list[j].Total() {
+			return list[i].Total() > list[j].Total()
+		}
+		return list[i].ID < list[j].ID
+	})
+	if len(list) > n {
+		list = list[:n]
+	}
+	var b strings.Builder
+	for _, sp := range list {
+		b.WriteString(sp.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// hotkeys renders each shard's k hottest keys across every shard group
+// of every application.  Counts are space-saving upper bounds; ERR is
+// the overestimation bound (0 = exact).
+func (s *Shell) hotkeys(k int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %-16s %-24s %10s %8s\n", "GROUP", "SHARD", "KEY", "COUNT", "ERR")
+	n := 0
+	for _, a := range s.w.Apps() {
+		for _, info := range a.ShardGroups() {
+			g, ok := a.ShardGroup(info.Name)
+			if !ok {
+				continue
+			}
+			for _, sh := range g.Heat(k) {
+				for _, e := range sh.Keys {
+					fmt.Fprintf(&b, "%-14s %-16s %-24s %10d %8d\n",
+						info.Name, sh.Shard, e.Key, e.Count, e.Err)
+					n++
+				}
+			}
+		}
+	}
+	if n == 0 {
+		return "(no shard key traffic)\n"
 	}
 	return b.String()
 }

@@ -11,11 +11,14 @@ import (
 	"jsymphony/internal/nas"
 	"jsymphony/internal/sched"
 	"jsymphony/internal/simnet"
+	"jsymphony/internal/slo"
+	"jsymphony/internal/trace"
 )
 
 func testWorld() *core.World {
 	reg := codebase.NewRegistry()
 	reg.Register("shell.Thing", 512, func() any { return &thing{} })
+	reg.Register("shell.KV", 512, func() any { return &skv{} })
 	return core.NewSimWorld(simnet.PaperCluster(), simnet.Idle, 1, core.Options{
 		NAS: nas.Config{
 			MonitorPeriod: 150 * time.Millisecond,
@@ -30,6 +33,17 @@ type thing struct{ X int }
 
 func (t *thing) Poke() int { t.X++; return t.X }
 func (t *thing) Get() int  { return t.X }
+
+type skv struct{ M map[string]int }
+
+func (s *skv) Put(k string, v int) int {
+	if s.M == nil {
+		s.M = map[string]int{}
+	}
+	s.M[k] = v
+	return v
+}
+func (s *skv) Get(k string) int { return s.M[k] }
 
 func TestShellCommands(t *testing.T) {
 	w := testWorld()
@@ -283,6 +297,129 @@ func TestShellReplicaCommands(t *testing.T) {
 		}
 		if out, _ := sh.Exec(p, "help"); !strings.Contains(out, "rset") || !strings.Contains(out, "replicas") {
 			t.Error("help missing replica commands")
+		}
+	})
+}
+
+// TestShellObservabilityCommands: the operator can inspect SLO
+// attainment, per-shard hot keys, the slowest invocations, a request's
+// critical path, and metric-sorted node rankings.
+func TestShellObservabilityCommands(t *testing.T) {
+	w := testWorld()
+	sh := New(w)
+	w.RunMain(func(p sched.Proc) {
+		p.Sleep(500 * time.Millisecond)
+		if out, _ := sh.Exec(p, "slo"); !strings.Contains(out, "no classified requests") {
+			t.Errorf("slo before traffic: %s", out)
+		}
+		if out, _ := sh.Exec(p, "hotkeys"); !strings.Contains(out, "no shard key traffic") {
+			t.Errorf("hotkeys before traffic: %s", out)
+		}
+		for _, class := range []string{core.ClassRead, core.ClassWrite} {
+			if err := w.DeclareSLO(slo.SLO{Class: class, Target: 2 * time.Second, Percentile: 99}); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		a, err := w.Register(w.Nodes()[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer a.Unregister(p)
+		cb := a.NewCodebase()
+		cb.Add("shell.KV")
+		cb.LoadNodes(p, w.Nodes()...)
+		g, err := a.NewShardGroup(p, "kv", "shell.KV", core.ShardSpec{
+			Shards: 2,
+			Reads:  []string{"Get"},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Planted hot key plus a thin cold tail, then reads.
+		for i := 0; i < 8; i++ {
+			if _, err := g.Invoke(p, "hot", "Put", "hot", i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 3; i++ {
+			k := fmt.Sprintf("cold-%d", i)
+			if _, err := g.Invoke(p, k, "Put", k, i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if v, err := g.Invoke(p, "hot", "Get", "hot"); err != nil || v.(int) != 7 {
+			t.Fatalf("read through group = %v, %v", v, err)
+		}
+
+		out, err := sh.Exec(p, "slo")
+		if err != nil || !strings.Contains(out, "CLASS") ||
+			!strings.Contains(out, "write") || !strings.Contains(out, "read") {
+			t.Errorf("slo: %v\n%s", err, out)
+		}
+		out, err = sh.Exec(p, "hotkeys")
+		if err != nil || !strings.Contains(out, "hot") || !strings.Contains(out, "GROUP") {
+			t.Errorf("hotkeys: %v\n%s", err, out)
+		}
+		full := strings.Count(out, "\n")
+		out, err = sh.Exec(p, "hotkeys 1")
+		if err != nil || strings.Count(out, "\n") > full {
+			t.Errorf("hotkeys 1 did not narrow the listing: %v\n%s", err, out)
+		}
+		for _, bad := range []string{"hotkeys 0", "hotkeys x", "hotkeys 1 2"} {
+			if _, err := sh.Exec(p, bad); err == nil {
+				t.Errorf("%q accepted", bad)
+			}
+		}
+
+		// spans -slow: bounded, slowest first.
+		out, err = sh.Exec(p, "spans -slow 3")
+		if err != nil || strings.Count(out, "\n") > 3 {
+			t.Errorf("spans -slow 3: %v\n%s", err, out)
+		}
+		for _, bad := range []string{"spans -slow 0", "spans -slow x", "spans -slow"} {
+			if _, err := sh.Exec(p, bad); err == nil {
+				t.Errorf("%q accepted", bad)
+			}
+		}
+
+		// critpath on a real classified root span — the slowest Put, so
+		// the breakdown has latency to attribute and names a dominant hop.
+		var id uint64
+		var slowest time.Duration
+		for _, sp := range w.Spans().Spans() {
+			if sp.Method == "Put" && sp.Kind == trace.SpanSync && sp.Total() >= slowest {
+				id, slowest = sp.ID, sp.Total()
+			}
+		}
+		if id == 0 || slowest == 0 {
+			t.Fatal("no Put span with nonzero latency recorded")
+		}
+		out, err = sh.Exec(p, fmt.Sprintf("critpath %d", id))
+		if err != nil || !strings.Contains(out, "dominant:") {
+			t.Errorf("critpath: %v\n%s", err, out)
+		}
+		for _, bad := range []string{"critpath", "critpath x", "critpath 999999999"} {
+			if _, err := sh.Exec(p, bad); err == nil {
+				t.Errorf("%q accepted", bad)
+			}
+		}
+
+		// top with an explicit sort metric; unknown metrics rejected.
+		out, err = sh.Exec(p, "top calls")
+		if err != nil || !strings.Contains(out, "CALLS") {
+			t.Errorf("top calls: %v\n%s", err, out)
+		}
+		if _, err := sh.Exec(p, "top bogus"); err == nil {
+			t.Error("top bogus accepted")
+		}
+		if _, err := sh.Exec(p, "top calls served"); err == nil {
+			t.Error("top with two metrics accepted")
+		}
+
+		if out, _ := sh.Exec(p, "help"); !strings.Contains(out, "slo") ||
+			!strings.Contains(out, "hotkeys") || !strings.Contains(out, "critpath") {
+			t.Error("help missing observability commands")
 		}
 	})
 }

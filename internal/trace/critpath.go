@@ -1,0 +1,224 @@
+package trace
+
+// Critical-path analysis over the span DAG: decompose one request's
+// end-to-end latency into named segments (queue, retry, lease-wait,
+// wire, service) attributed to the hop that spent them, and name the
+// dominant segment.  The walk follows Parent edges only — Cause edges
+// (retries, propagation) describe work the request triggered, not time
+// on its latency path; retry time is already accounted in the request
+// span's own Retry segment.
+//
+// Everything here is a pure function of the span slice, so on a
+// simulated installation the analysis is byte-deterministic.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Segment kinds the analyzer emits.
+const (
+	SegQueue     = "queue"
+	SegRetry     = "retry"
+	SegLeaseWait = "lease-wait"
+	SegWire      = "wire"
+	SegService   = "service"
+)
+
+// PathSegment is one attributed slice of a request's latency.
+type PathSegment struct {
+	Kind  string        // SegQueue, SegRetry, SegLeaseWait, SegWire, SegService
+	Span  uint64        // span the time was spent in
+	Hop   string        // "origin->target" of that span
+	Label string        // "app/obj.Method" of that span
+	Dur   time.Duration // attributed scheduler time
+}
+
+// CritPath is the decomposition of one request.
+type CritPath struct {
+	Root       uint64        // root span id
+	Total      time.Duration // the root span's end-to-end latency
+	Attributed time.Duration // Σ segment durations
+	Coverage   float64       // Attributed / Total (1.0 when Total is 0)
+	Dominant   PathSegment   // largest segment (first emitted wins ties)
+	Segments   []PathSegment // walk order: depth-first, children by start time
+}
+
+// spanIndex holds the DAG lookup structures for one analysis.
+type spanIndex struct {
+	byID     map[uint64]*Span
+	children map[uint64][]*Span // Parent edges only, sorted by (Start, ID)
+}
+
+func indexSpans(spans []Span) *spanIndex {
+	ix := &spanIndex{
+		byID:     make(map[uint64]*Span, len(spans)),
+		children: make(map[uint64][]*Span),
+	}
+	for i := range spans {
+		s := &spans[i]
+		ix.byID[s.ID] = s
+		if s.Parent != 0 {
+			ix.children[s.Parent] = append(ix.children[s.Parent], s)
+		}
+	}
+	for _, kids := range ix.children {
+		sort.Slice(kids, func(i, j int) bool {
+			if kids[i].Start != kids[j].Start {
+				return kids[i].Start < kids[j].Start
+			}
+			return kids[i].ID < kids[j].ID
+		})
+	}
+	return ix
+}
+
+// AnalyzeCritPath decomposes the request rooted at the given span id.
+// The spans slice is typically SpanLog.Spans(); spans the ring has
+// evicted simply shrink coverage.
+func AnalyzeCritPath(spans []Span, root uint64) (CritPath, error) {
+	ix := indexSpans(spans)
+	rs, ok := ix.byID[root]
+	if !ok {
+		return CritPath{}, fmt.Errorf("trace: no span #%d in the retained log", root)
+	}
+	cp := CritPath{Root: root, Total: rs.Total()}
+	attribute(ix, rs, &cp.Segments)
+	for _, seg := range cp.Segments {
+		cp.Attributed += seg.Dur
+		if seg.Dur > cp.Dominant.Dur {
+			cp.Dominant = seg
+		}
+	}
+	if cp.Total > 0 {
+		cp.Coverage = float64(cp.Attributed) / float64(cp.Total)
+	} else {
+		cp.Coverage = 1.0
+	}
+	return cp, nil
+}
+
+// attribute walks one span depth-first, emitting its queue, retry,
+// lease-wait, and wire segments, then splitting its service window into
+// nested-call time (recursing into children) and self compute.
+// Children that overlap an earlier sibling (parallel nested calls) are
+// attributed as a single service segment covering only the time they
+// extend the busy window by — the critical-path convention: concurrent
+// work contributes only the part that lengthens the request.
+func attribute(ix *spanIndex, s *Span, out *[]PathSegment) {
+	hop := s.Origin + "->" + s.Target
+	label := fmt.Sprintf("%s/%d.%s", s.App, s.Obj, s.Method)
+	emit := func(kind string, d time.Duration) {
+		if d > 0 {
+			*out = append(*out, PathSegment{Kind: kind, Span: s.ID, Hop: hop, Label: label, Dur: d})
+		}
+	}
+	emit(SegQueue, s.Queue)
+	emit(SegRetry, s.Retry)
+	emit(SegLeaseWait, s.LeaseWait)
+	emit(SegWire, s.Wire)
+
+	kids := ix.children[s.ID]
+	if len(kids) == 0 {
+		emit(SegService, s.Service)
+		return
+	}
+	// Split the service window between nested calls and self compute.
+	// cursor tracks the end of the busy window covered so far.
+	var nested time.Duration
+	cursor := time.Duration(-1)
+	for _, k := range kids {
+		end := k.Start + k.Total()
+		eff := k.Total()
+		if cursor >= 0 && k.Start < cursor { // overlaps an earlier sibling
+			eff = end - cursor
+		}
+		if eff <= 0 {
+			continue // fully shadowed by concurrent siblings
+		}
+		if eff == k.Total() {
+			attribute(ix, k, out)
+		} else {
+			// Partially shadowed: attribute only the extension, without
+			// recursing (its internal split is not on the critical path).
+			khop := k.Origin + "->" + k.Target
+			klabel := fmt.Sprintf("%s/%d.%s", k.App, k.Obj, k.Method)
+			*out = append(*out, PathSegment{Kind: SegService, Span: k.ID, Hop: khop, Label: klabel, Dur: eff})
+		}
+		nested += eff
+		if end > cursor {
+			cursor = end
+		}
+	}
+	if self := s.Service - nested; self > 0 {
+		emit(SegService, self)
+	}
+}
+
+// Breakdown aggregates segment durations by kind over many requests.
+type Breakdown struct {
+	Requests   int
+	Total      time.Duration            // Σ root totals
+	Attributed time.Duration            // Σ attributed segment time
+	Coverage   float64                  // Attributed / Total
+	ByKind     map[string]time.Duration // segment kind -> Σ duration
+	Dominant   string                   // kind with the largest share
+}
+
+// AggregateCritPath analyzes every retained root span accepted by keep
+// (nil keeps all roots) and sums the segment time by kind.
+func AggregateCritPath(spans []Span, keep func(*Span) bool) Breakdown {
+	bd := Breakdown{ByKind: make(map[string]time.Duration)}
+	for i := range spans {
+		s := &spans[i]
+		if s.Parent != 0 || s.Cause != 0 {
+			continue
+		}
+		if keep != nil && !keep(s) {
+			continue
+		}
+		cp, err := AnalyzeCritPath(spans, s.ID)
+		if err != nil {
+			continue
+		}
+		bd.Requests++
+		bd.Total += cp.Total
+		bd.Attributed += cp.Attributed
+		for _, seg := range cp.Segments {
+			bd.ByKind[seg.Kind] += seg.Dur
+		}
+	}
+	if bd.Total > 0 {
+		bd.Coverage = float64(bd.Attributed) / float64(bd.Total)
+	} else {
+		bd.Coverage = 1.0
+	}
+	var best time.Duration
+	for _, kind := range []string{SegQueue, SegRetry, SegLeaseWait, SegWire, SegService} {
+		if d := bd.ByKind[kind]; d > best {
+			best, bd.Dominant = d, kind
+		}
+	}
+	return bd
+}
+
+// Format renders the decomposition as the shell's critpath command
+// prints it.
+func (cp CritPath) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "critical path of span #%d: total=%s attributed=%s coverage=%.1f%%\n",
+		cp.Root, cp.Total.Round(time.Microsecond), cp.Attributed.Round(time.Microsecond),
+		cp.Coverage*100)
+	for _, seg := range cp.Segments {
+		fmt.Fprintf(&b, "  %-10s %10s  #%-5d %-24s %s\n",
+			seg.Kind, seg.Dur.Round(time.Microsecond), seg.Span, seg.Hop, seg.Label)
+	}
+	if cp.Dominant.Dur > 0 {
+		fmt.Fprintf(&b, "  dominant: %s at %s (%s), %s of %s\n",
+			cp.Dominant.Kind, cp.Dominant.Hop, cp.Dominant.Label,
+			cp.Dominant.Dur.Round(time.Microsecond), cp.Total.Round(time.Microsecond))
+	}
+	return b.String()
+}

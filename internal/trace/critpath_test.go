@@ -1,0 +1,160 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+const ms = time.Millisecond
+
+// TestCritPathLeaf checks a single-span request decomposes into its own
+// segments and the dominant hop is named.
+func TestCritPathLeaf(t *testing.T) {
+	spans := []Span{{
+		ID: 1, App: "a", Obj: 3, Method: "Get", Origin: "n1", Target: "n2",
+		Start: 0, Queue: 1 * ms, Retry: 2 * ms, Service: 5 * ms, LeaseWait: 3 * ms, Wire: 4 * ms,
+	}}
+	cp, err := AnalyzeCritPath(spans, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Total != 15*ms || cp.Attributed != 15*ms {
+		t.Fatalf("total=%v attributed=%v, want 15ms both", cp.Total, cp.Attributed)
+	}
+	if cp.Coverage != 1.0 {
+		t.Fatalf("coverage = %v, want 1.0", cp.Coverage)
+	}
+	if len(cp.Segments) != 5 {
+		t.Fatalf("segments = %+v", cp.Segments)
+	}
+	if cp.Dominant.Kind != SegService || cp.Dominant.Dur != 5*ms {
+		t.Fatalf("dominant = %+v, want service 5ms", cp.Dominant)
+	}
+	if cp.Dominant.Hop != "n1->n2" || cp.Dominant.Label != "a/3.Get" {
+		t.Fatalf("dominant naming = %+v", cp.Dominant)
+	}
+}
+
+// TestCritPathNested checks the service window of a parent is split into
+// the nested child's segments plus the parent's self compute.
+func TestCritPathNested(t *testing.T) {
+	spans := []Span{
+		{ID: 1, App: "a", Obj: 1, Method: "Outer", Origin: "n1", Target: "n2",
+			Start: 0, Wire: 2 * ms, Service: 10 * ms},
+		// Child runs inside the parent's service window: starts at 3ms,
+		// 4ms total (1 wire + 3 service).
+		{ID: 2, Parent: 1, App: "a", Obj: 2, Method: "Inner", Origin: "n2", Target: "n3",
+			Start: 3 * ms, Wire: 1 * ms, Service: 3 * ms},
+	}
+	cp, err := AnalyzeCritPath(spans, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Total != 12*ms {
+		t.Fatalf("total = %v", cp.Total)
+	}
+	if cp.Attributed != 12*ms || cp.Coverage != 1.0 {
+		t.Fatalf("attributed=%v coverage=%v", cp.Attributed, cp.Coverage)
+	}
+	// Expect: parent wire 2ms, child wire 1ms, child service 3ms, parent
+	// self service 10-4=6ms.
+	var self time.Duration
+	for _, seg := range cp.Segments {
+		if seg.Kind == SegService && seg.Span == 1 {
+			self = seg.Dur
+		}
+	}
+	if self != 6*ms {
+		t.Fatalf("parent self service = %v, want 6ms (segments %+v)", self, cp.Segments)
+	}
+	if cp.Dominant.Span != 1 || cp.Dominant.Kind != SegService {
+		t.Fatalf("dominant = %+v", cp.Dominant)
+	}
+}
+
+// TestCritPathOverlap checks parallel children only contribute the time
+// they extend the busy window by.
+func TestCritPathOverlap(t *testing.T) {
+	spans := []Span{
+		{ID: 1, App: "a", Obj: 1, Method: "Fan", Origin: "n1", Target: "n1",
+			Start: 0, Service: 10 * ms},
+		// Two children overlapping: [0,6) and [2,10).
+		{ID: 2, Parent: 1, App: "a", Obj: 2, Method: "A", Origin: "n1", Target: "n2",
+			Start: 0, Service: 6 * ms},
+		{ID: 3, Parent: 1, App: "a", Obj: 3, Method: "B", Origin: "n1", Target: "n3",
+			Start: 2 * ms, Service: 8 * ms},
+	}
+	cp, err := AnalyzeCritPath(spans, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Child A contributes 6ms, child B only the 4ms it extends the busy
+	// window by, so nested = 10ms and self = 0: attributed = total.
+	if cp.Attributed != 10*ms || cp.Coverage != 1.0 {
+		t.Fatalf("attributed=%v coverage=%v segments=%+v", cp.Attributed, cp.Coverage, cp.Segments)
+	}
+}
+
+// TestCritPathCauseEdges checks retry/propagation spans (Cause edges)
+// are not double-counted on the latency path.
+func TestCritPathCauseEdges(t *testing.T) {
+	spans := []Span{
+		{ID: 1, App: "a", Obj: 1, Method: "Put", Origin: "n1", Target: "n2",
+			Start: 0, Retry: 4 * ms, Service: 5 * ms, Wire: 1 * ms},
+		// The failed attempt behind the retry, linked by Cause.
+		{ID: 2, Cause: 1, Kind: SpanRetry, App: "a", Obj: 1, Method: "Put",
+			Origin: "n1", Target: "n3", Start: 0, Wire: 3 * ms, Err: "oas: object not hosted here"},
+		// The write's propagation to a replica, linked by Cause.
+		{ID: 3, Cause: 1, Kind: SpanPropagate, App: "a", Obj: 1, Method: "replicaUpdate",
+			Origin: "n2", Target: "n4", Start: 6 * ms, Wire: 2 * ms},
+	}
+	cp, err := AnalyzeCritPath(spans, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Total != 10*ms || cp.Attributed != 10*ms {
+		t.Fatalf("total=%v attributed=%v", cp.Total, cp.Attributed)
+	}
+	for _, seg := range cp.Segments {
+		if seg.Span != 1 {
+			t.Fatalf("cause-linked span leaked onto the path: %+v", seg)
+		}
+	}
+	if cp.Dominant.Kind != SegService {
+		t.Fatalf("dominant = %+v", cp.Dominant)
+	}
+}
+
+// TestCritPathUnknownRoot checks the error path.
+func TestCritPathUnknownRoot(t *testing.T) {
+	if _, err := AnalyzeCritPath(nil, 42); err == nil {
+		t.Fatal("want error for unknown span")
+	}
+}
+
+// TestAggregateCritPath checks the per-kind rollup and coverage over
+// multiple roots.
+func TestAggregateCritPath(t *testing.T) {
+	spans := []Span{
+		{ID: 1, Class: "read", Service: 4 * ms, Wire: 2 * ms},
+		{ID: 2, Class: "write", Service: 1 * ms, Wire: 1 * ms, Retry: 2 * ms},
+		{ID: 3, Cause: 2, Kind: SpanRetry, Wire: 2 * ms}, // not a root
+	}
+	bd := AggregateCritPath(spans, nil)
+	if bd.Requests != 2 {
+		t.Fatalf("requests = %d", bd.Requests)
+	}
+	if bd.Total != 10*ms || bd.Coverage != 1.0 {
+		t.Fatalf("total=%v coverage=%v", bd.Total, bd.Coverage)
+	}
+	if bd.ByKind[SegService] != 5*ms || bd.ByKind[SegWire] != 3*ms || bd.ByKind[SegRetry] != 2*ms {
+		t.Fatalf("by kind = %v", bd.ByKind)
+	}
+	if bd.Dominant != SegService {
+		t.Fatalf("dominant = %s", bd.Dominant)
+	}
+	only := AggregateCritPath(spans, func(s *Span) bool { return s.Class == "read" })
+	if only.Requests != 1 || only.Total != 6*ms {
+		t.Fatalf("filtered = %+v", only)
+	}
+}

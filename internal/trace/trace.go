@@ -56,6 +56,10 @@ const (
 	ShardGroupCreated Kind = "shard.created"
 	ShardRebalanced   Kind = "shard.rebalanced"
 	ShardEvacuated    Kind = "shard.evacuated"
+
+	// SLOBreach marks a request class burning its error budget past the
+	// engine's threshold (internal/slo); the flight recorder dumps on it.
+	SLOBreach Kind = "slo.breach"
 )
 
 // Event is one record.

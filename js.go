@@ -417,6 +417,14 @@ func (g *ShardGroup) Evacuate(node string) error {
 	return g.g.Evacuate(g.js.p, node)
 }
 
+// Heat reports each shard's k hottest keys (space-saving counts;
+// deterministic order: shards in ring order, keys by count then name).
+func (g *ShardGroup) Heat(k int) []ShardHeat { return g.g.Heat(k) }
+
+// PublishHeat exports each shard's k hottest keys as
+// js_shard_key_heat{group,shard,key} gauges.
+func (g *ShardGroup) PublishHeat(k int) { g.g.PublishHeat(k) }
+
 // Name returns the group name.
 func (g *ShardGroup) Name() string { return g.g.Name() }
 
