@@ -151,6 +151,27 @@ type (
 	ShardGroupInfo = core.ShardGroupInfo
 )
 
+// Admission control and load shedding (DESIGN.md §12).
+type (
+	// AdmissionPolicy declares router-side shedding for a shard group:
+	// client classes in priority order, burn-rate thresholds, and the
+	// dwell between level changes.
+	AdmissionPolicy = core.AdmissionPolicy
+	// AdmissionState snapshots a group's admission controller.
+	AdmissionState = core.AdmissionState
+)
+
+// ErrOverload is the typed load-shed rejection: a bounded invoke queue
+// or an admission controller refused the request.  Detect it with
+// errors.Is; it is never retried by the RMI layer and is disjoint from
+// ErrCallTimeout.
+var ErrOverload = rmi.ErrOverload
+
+// ErrCallTimeout marks a synchronous call abandoned on timeout (the
+// peer may have crashed or the message was lost).  Disjoint from
+// ErrOverload: a shed is a definitive answer, a timeout is no answer.
+var ErrCallTimeout = rmi.ErrTimeout
+
 // Replication modes.
 const (
 	// ReplicaStrong propagates writes synchronously and serves replica

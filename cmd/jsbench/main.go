@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "fig5", "experiment to run (fig5, mandel, automigrate, recovery, replica, shard, slo)")
+	experiment := flag.String("experiment", "fig5", "experiment to run (fig5, mandel, automigrate, recovery, replica, shard, slo, serve)")
 	sizes := flag.String("sizes", "200,400,600,800", "comma-separated problem sizes")
 	maxNodes := flag.Int("maxnodes", 13, "sweep node counts 1..maxnodes")
 	seed := flag.Int64("seed", 1, "simulation seed")
@@ -48,6 +48,8 @@ func main() {
 		runShard(*seed, *out)
 	case "slo":
 		runSlo(*seed, *out, *flightOut)
+	case "serve":
+		runServe(*seed, *out)
 	default:
 		fmt.Fprintf(os.Stderr, "jsbench: unknown experiment %q\n", *experiment)
 		os.Exit(2)
@@ -165,6 +167,38 @@ func runSlo(seed int64, out, flightOut string) {
 	}
 	fmt.Println()
 	lines, ok := experiments.SloReportLines(res)
+	fmt.Println("Subsystem claims:")
+	for _, l := range lines {
+		fmt.Println("  " + l)
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func runServe(seed int64, out string) {
+	fmt.Println("Serve — open-loop overload with admission control and load shedding")
+	fmt.Println("(baseline vs shed replay of one seeded heavy-tailed arrival stream)")
+	fmt.Println()
+	cfg := experiments.ServeConfig{Seed: seed}
+	res := experiments.Serve(cfg)
+	experiments.WriteServe(os.Stdout, res)
+	if out == "" {
+		out = "BENCH_serve.json"
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jsbench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := experiments.WriteServeJSON(f, res); err != nil {
+		fmt.Fprintf(os.Stderr, "jsbench: %v\n", err)
+		os.Exit(1)
+	}
+	f.Close()
+	fmt.Printf("result written to %s\n", out)
+	fmt.Println()
+	lines, ok := experiments.ServeReportLines(res)
 	fmt.Println("Subsystem claims:")
 	for _, l := range lines {
 		fmt.Println("  " + l)

@@ -129,6 +129,17 @@ func (e *Env) Chaos() *chaos.Injector { return e.w.Chaos() }
 // by (sender, ID).
 func (e *Env) SetRMIPolicy(pol RMIPolicy) { e.w.SetRMIPolicy(pol) }
 
+// SetInvokeQueueBound caps every hosted object's concurrent in-flight
+// invocations: a request arriving at a full mailbox is shed immediately
+// with a typed ErrOverload instead of queueing without bound.  n < 0
+// (the default) restores unbounded mailboxes; n == 0 sheds everything.
+// Sheds are responses, not lost messages — the RMI layer never retries
+// them (see DESIGN.md §12).
+func (e *Env) SetInvokeQueueBound(n int) { e.w.SetInvokeQueueBound(n) }
+
+// InvokeQueueBound returns the current per-object bound (-1 = unbounded).
+func (e *Env) InvokeQueueBound() int { return e.w.InvokeQueueBound() }
+
 // RunMain drives a simulated environment: it starts the installation,
 // waits one monitoring round so agents report in, registers an
 // application on the given home node ("" = the first node), runs fn,

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// TestServeClaims runs the default experiment and requires every
+// headline claim to hold: the admission-controlled run keeps the top
+// class at its declared objective at >= 2x-capacity offered load while
+// the unshed baseline's p99 collapses, sheds are typed and never
+// counted as timeouts, and critical-path attribution survives
+// shedding.
+func TestServeClaims(t *testing.T) {
+	res := Serve(ServeConfig{})
+	lines, ok := ServeReportLines(res)
+	for _, l := range lines {
+		t.Log(l)
+	}
+	if !ok {
+		t.Fatal("serve claims failed")
+	}
+}
+
+// TestServeDeterminism replays the same seed twice and requires the
+// rendered JSON artifacts — config, both SLO reports, curves, shed
+// tallies, admission state — to be byte-identical.  This is what makes
+// the committed BENCH_serve.json diffable in CI.
+func TestServeDeterminism(t *testing.T) {
+	cfg := ServeConfig{Ops: 400, Ramp: time.Second}
+	var a, b bytes.Buffer
+	if err := WriteServeJSON(&a, Serve(cfg)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteServeJSON(&b, Serve(cfg)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("twin serve runs rendered different artifacts (%d vs %d bytes)", a.Len(), b.Len())
+	}
+	if a.Len() == 0 {
+		t.Fatal("empty artifact")
+	}
+}
+
+// TestServeDifferentSeedsDiffer guards against the generator or the
+// simulation ignoring the seed.
+func TestServeDifferentSeedsDiffer(t *testing.T) {
+	cfg1 := ServeConfig{Ops: 300, Ramp: time.Second}
+	cfg2 := ServeConfig{Ops: 300, Ramp: time.Second, Seed: 2}
+	var a, b bytes.Buffer
+	if err := WriteServeJSON(&a, Serve(cfg1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteServeJSON(&b, Serve(cfg2)); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("different seeds produced identical artifacts")
+	}
+}

@@ -252,7 +252,7 @@ func (a *App) invokeObject(p sched.Proc, id uint64, method string, args []any, k
 			}
 		}
 		sr.beginAttempt()
-		resp, err := a.rt.invokeAt(p, target, e.ref, method, args, sr.span.ID, read)
+		resp, err := a.rt.invokeAt(p, target, e.ref, method, args, sr.span.ID, read, class)
 		if err == nil {
 			sr.span.Staleness = resp.Staleness
 			a.world.noteRead(read, resp)

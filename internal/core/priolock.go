@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"jsymphony/internal/sched"
+)
+
+// prioLock is procLock's priority-aware sibling, used for the replicated
+// primary's write fan lock.  Waiters park on per-level queues and unlock
+// hands the token to the lowest-level waiter first (FIFO within a
+// level), so with admission ranks mapped onto levels a gold write
+// admitted to the mailbox overtakes queued bronze instead of aging
+// behind it — the write queue enforces the same priority order as the
+// mailbox bound (DESIGN.md §12).  Level 0 is the control plane and all
+// unranked traffic, which preserves the old FIFO behaviour when no
+// admission policy is installed.
+//
+// Like procLock, a contender blocks inside the simulation (p.Recv on a
+// sched.Queue), so the kernel keeps advancing virtual time for the
+// holder's RMI and hands the run token back deterministically.
+type prioLock struct {
+	s sched.Sched
+
+	mu      sync.Mutex
+	held    bool
+	waiting []int         // waiters per level
+	qs      []sched.Queue // one handoff queue per level, grown lazily
+}
+
+func newPrioLock(s sched.Sched) *prioLock { return &prioLock{s: s} }
+
+// lock acquires the token, parking at the given priority level
+// (0 = most important) while another proc holds it.
+func (l *prioLock) lock(p sched.Proc, level int) {
+	l.mu.Lock()
+	if !l.held {
+		// No holder implies no waiters: unlock hands off directly,
+		// leaving held set, so the lock is only ever free when idle.
+		l.held = true
+		l.mu.Unlock()
+		return
+	}
+	for len(l.qs) <= level {
+		l.qs = append(l.qs, l.s.NewQueue(fmt.Sprintf("replica.fan.L%d", len(l.qs))))
+		l.waiting = append(l.waiting, 0)
+	}
+	l.waiting[level]++
+	q := l.qs[level]
+	l.mu.Unlock()
+	p.Recv(q)
+}
+
+// unlock hands the token to the best waiter (lowest level, FIFO within
+// it), or frees the lock when nobody waits.
+func (l *prioLock) unlock() {
+	l.mu.Lock()
+	for lvl := range l.qs {
+		if l.waiting[lvl] > 0 {
+			l.waiting[lvl]--
+			q := l.qs[lvl]
+			l.mu.Unlock()
+			q.Put(struct{}{}, 0)
+			return
+		}
+	}
+	l.held = false
+	l.mu.Unlock()
+}

@@ -47,7 +47,7 @@ type replState struct {
 
 	// Primary role.
 	peers     []string        // replica nodes, sorted
-	fan       *procLock       // serializes writes + propagation (primary side)
+	fan       *prioLock       // serializes writes + propagation (primary side), admission-priority order
 	reads     map[string]bool // declared read-only methods
 	authUntil time.Duration   // write authority granted by the origin AppOA
 	minSync   int             // eventual mode: peers updated synchronously per write
@@ -108,7 +108,7 @@ func (rt *Runtime) replicaConfigure(req replicaConfigureReq) error {
 		h.repl = rs
 	}
 	if rs.fan == nil {
-		rs.fan = newProcLock(rt.world.s)
+		rs.fan = newPrioLock(rt.world.s)
 	}
 	rs.isReplica = false
 	rs.primary = ""
@@ -258,7 +258,7 @@ func (rt *Runtime) replicaSnapshot(p sched.Proc, key objKey) (replicaSnapshotRes
 	lockFan := rs != nil && !rs.isReplica && rs.fan != nil
 	rt.mu.Unlock()
 	if lockFan {
-		rs.fan.lock(p)
+		rs.fan.lock(p, 0)
 		defer rs.fan.unlock()
 	}
 	rt.mu.Lock()
@@ -294,7 +294,7 @@ func (rt *Runtime) replicaRenew(p sched.Proc, key objKey) (replicaRenewResp, err
 		return replicaRenewResp{}, errors.New(errObjMoved)
 	}
 	rt.mu.Unlock()
-	rs.fan.lock(p)
+	rs.fan.lock(p, 0)
 	defer rs.fan.unlock()
 	rt.mu.Lock()
 	inst := h.instance

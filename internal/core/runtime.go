@@ -46,6 +46,14 @@ type hostedObj struct {
 	ref       Ref
 	instance  any
 	executing int
+	// rankExec counts the in-flight invocations per admission rank
+	// (index = position in the policy's Classes list, 0 = most
+	// important).  The priority mailbox subtracts lower-priority
+	// occupancy from the bound check, so bronze saturating the slots
+	// can never exclude gold; unranked traffic is not tracked here and
+	// counts against every class.  Grown lazily; len 0 until a ranked
+	// request executes.
+	rankExec  []int
 	migrating bool       // state is being serialized / shipped
 	wanted    bool       // a migration or store is waiting for quiescence
 	repl      *replState // nil unless the object is replicated (see replica.go)
@@ -346,6 +354,15 @@ var ctxType = reflect.TypeOf((*Ctx)(nil))
 // to the replica set before the response leaves (strong mode) or as a
 // one-way fan-out (eventual mode).
 func (rt *Runtime) invoke(p sched.Proc, req invokeReq) (invokeResp, error) {
+	if rt.world.classShed(req.Class) {
+		// Arrival check: an admission controller shed this request's
+		// class after its router admitted it (the request was on the
+		// wire, or in a caller retry loop).  Refuse before it can take
+		// a mailbox slot — it would be refused on completion anyway,
+		// and executing it only delays the classes still admitted.
+		return invokeResp{}, rt.refuseShedClass(req, "arrival")
+	}
+	rank, ranked := rt.world.classRank(req.Class)
 	key := objKey{req.App, req.ID}
 	rt.mu.Lock()
 	h, ok := rt.hosted[key]
@@ -357,9 +374,39 @@ func (rt *Runtime) invoke(p sched.Proc, req invokeReq) (invokeResp, error) {
 		// A migration (or store) is in progress or waiting for the
 		// object to quiesce.  New invocations yield so back-to-back
 		// callers cannot starve it; they retry and re-resolve the
-		// location once the object lands (Fig. 4).
+		// location once the object lands (Fig. 4).  This check comes
+		// before the queue bound on purpose: a migrating object's
+		// mailbox is drained by design, and deflecting with busy (which
+		// callers retry) instead of overload (which they must not)
+		// keeps migration invisible to admission control.
 		rt.mu.Unlock()
 		return invokeResp{}, errors.New(errObjBusy)
+	}
+	if bound := rt.world.queueBound.Load(); bound >= 0 {
+		// Bounded priority mailbox: a request is shed when the bound is
+		// already filled by work of its own or higher priority —
+		// lower-ranked occupancy is subtracted, so bronze saturating
+		// the slots can never exclude gold while the admission
+		// controller is still reacting.  Unranked traffic (no admission
+		// policy names its class) gets the classic class-blind bound,
+		// and counts conservatively against every ranked class.  The
+		// error wraps rmi.ErrOverload; the prefix survives the wire as
+		// a RemoteError message, so errors.Is works on both sides.
+		occupied := h.executing
+		if ranked {
+			for i := rank + 1; i < len(h.rankExec); i++ {
+				occupied -= h.rankExec[i]
+			}
+		}
+		if int64(occupied) >= bound {
+			rt.mu.Unlock()
+			rt.world.emit(trace.Event{Kind: trace.OverloadShed, Node: rt.Node(),
+				App: req.App, Obj: req.ID,
+				Detail: fmt.Sprintf("%s: %d in flight (bound %d)", req.Method, occupied, bound)})
+			rt.world.reg.Counter(metrics.Label("js_core_sheds_total", "node", rt.Node())).Inc()
+			return invokeResp{}, fmt.Errorf("%w: %s/%d.%s on %s (%d in flight, bound %d)",
+				rmi.ErrOverload, req.App, req.ID, req.Method, rt.Node(), occupied, bound)
+		}
 	}
 	rs := h.repl
 	if rs != nil && rs.isReplica {
@@ -398,19 +445,45 @@ func (rt *Runtime) invoke(p sched.Proc, req invokeReq) (invokeResp, error) {
 		rset = rs.setSnapshot(rt.Node())
 	}
 	h.executing++
+	if ranked {
+		for len(h.rankExec) <= rank {
+			h.rankExec = append(h.rankExec, 0)
+		}
+		h.rankExec[rank]++
+	}
 	inst := h.instance
 	rt.mu.Unlock()
 
 	defer func() {
 		rt.mu.Lock()
 		h.executing--
+		if ranked {
+			h.rankExec[rank]--
+		}
 		rt.mu.Unlock()
 	}()
 
 	var undo []byte
 	if primaryWrite {
-		rs.fan.lock(p)
+		// Ranked writes queue for the fan lock in admission-priority
+		// order (level 0 is the control plane and unranked traffic), so
+		// a gold write never ages behind a burst of queued bronze.
+		level := 0
+		if ranked {
+			level = rank + 1
+		}
+		rs.fan.lock(p, level)
 		defer rs.fan.unlock()
+		if rt.world.classShed(req.Class) {
+			// Dequeue check: the fan lock is where writes queue, so a
+			// write can wait here for several service times — long
+			// enough for the admission controller to shed its class.
+			// Refusing at dequeue makes escalation drain the doomed
+			// backlog in one scheduler tick instead of one service time
+			// per queued write, which is what frees mailbox slots for
+			// the protected classes during the ramp.
+			return invokeResp{}, rt.refuseShedClass(req, "dequeue")
+		}
 		if syncWrite {
 			undo, _ = rmi.Marshal(inst)
 		}
@@ -428,6 +501,21 @@ func (rt *Runtime) invoke(p sched.Proc, req invokeReq) (invokeResp, error) {
 		}
 	}
 	return invokeResp{Result: res, Service: service, RSet: rset}, err
+}
+
+// refuseShedClass builds the typed refusal for a request whose class an
+// admission controller shed while it was in flight or queued, with the
+// trace/metrics bookkeeping shared by the arrival and dequeue check
+// points.  The message starts with the rmi.ErrOverload text so the
+// sentinel survives the wire as a RemoteError, and the caller's retry
+// loop returns it unretried (shed-vs-retry contract, DESIGN.md §12).
+func (rt *Runtime) refuseShedClass(req invokeReq, where string) error {
+	rt.world.emit(trace.Event{Kind: trace.OverloadShed, Node: rt.Node(),
+		App: req.App, Obj: req.ID,
+		Detail: fmt.Sprintf("%s: class %s shed at %s", req.Method, req.Class, where)})
+	rt.world.reg.Counter(metrics.Label("js_core_class_sheds_total", "node", rt.Node())).Inc()
+	return fmt.Errorf("%w: class %s refused at %s (%s): shed by admission while in flight",
+		rmi.ErrOverload, req.Class, rt.Node(), where)
 }
 
 // execMethod runs one method body on an instance, with Ctx injection and
@@ -716,7 +804,7 @@ func (rt *Runtime) InvokeRefTraced(p sched.Proc, parent uint64, kind trace.SpanK
 			}
 		}
 		sr.beginAttempt()
-		resp, err := rt.invokeAt(p, target, ref, method, args, sr.span.ID, read)
+		resp, err := rt.invokeAt(p, target, ref, method, args, sr.span.ID, read, "")
 		if err == nil {
 			rt.mu.Lock()
 			rt.locCache[key] = loc
@@ -775,8 +863,8 @@ func (rt *Runtime) InvokeRefTraced(p sched.Proc, parent uint64, kind trace.SpanK
 // local fast path (the paper's "local (direct) method invocation") when
 // the object is hosted here.  read marks invocations of declared
 // read-only methods, the only ones a replica may serve.
-func (rt *Runtime) invokeAt(p sched.Proc, loc string, ref Ref, method string, args []any, span uint64, read bool) (invokeResp, error) {
-	req := invokeReq{App: ref.App, ID: ref.ID, Method: method, Args: args, Span: span, Read: read}
+func (rt *Runtime) invokeAt(p sched.Proc, loc string, ref Ref, method string, args []any, span uint64, read bool, class string) (invokeResp, error) {
+	req := invokeReq{App: ref.App, ID: ref.ID, Method: method, Args: args, Span: span, Read: read, Class: class}
 	if loc == rt.Node() {
 		resp, err := rt.invoke(p, req)
 		if err != nil {

@@ -111,6 +111,7 @@ type ShardGroup struct {
 	reads   map[string]bool
 	flights map[string]*flight      // in-flight coalescible reads
 	heat    map[string]*heat.Sketch // shard name -> per-key heat sketch
+	adm     *admission              // nil until SetAdmission
 }
 
 // flight is one in-flight coalescible read: the leader performs the
@@ -254,8 +255,21 @@ func (g *ShardGroup) Object(shardName string) (*Object, bool) {
 // declared in spec.Reads additionally coalesce: concurrent identical
 // reads (same shard, method, and arguments) collapse onto one in-flight
 // RMI whose result is shared — N simultaneous readers of a hot key cost
-// one call (singleflight).
+// one call (singleflight).  Requests enroll in SLO accounting under the
+// implicit "read"/"write" classes; use InvokeClass to declare a client
+// class instead.
 func (g *ShardGroup) Invoke(p sched.Proc, key, method string, args ...any) (any, error) {
+	return g.InvokeClass(p, "", key, method, args...)
+}
+
+// InvokeClass is Invoke with a caller-declared request class: the span
+// (and the coalesced-follower accounting) enrolls in the SLO engine
+// under class instead of the implicit "read"/"write", and the request
+// passes through the group's admission controller — a class the
+// controller is currently shedding is refused immediately with a typed
+// rmi.ErrOverload before any routing happens.  An empty class falls
+// back to Invoke's behaviour.
+func (g *ShardGroup) InvokeClass(p sched.Proc, class, key, method string, args ...any) (any, error) {
 	g.mu.Lock()
 	owner := g.ring.Owner(key)
 	obj := g.shards[owner]
@@ -267,18 +281,28 @@ func (g *ShardGroup) Invoke(p sched.Proc, key, method string, args ...any) (any,
 	if obj == nil {
 		return nil, fmt.Errorf("core: shard group %s has no shards", g.name)
 	}
+	if class == "" {
+		if isRead {
+			class = ClassRead
+		} else {
+			class = ClassWrite
+		}
+	}
+	if err := g.admit(class, method); err != nil {
+		return nil, err
+	}
 	g.app.world.reg.Counter(metrics.Label("js_shard_invokes_total", "group", g.name)).Inc()
 	if !isRead {
-		return g.app.invokeObject(p, obj.id, method, args, trace.SpanSync, owner, ClassWrite)
+		return g.app.invokeObject(p, obj.id, method, args, trace.SpanSync, owner, class)
 	}
-	return g.coalesce(p, owner, obj, method, args)
+	return g.coalesce(p, owner, obj, method, args, class)
 }
 
 // coalesce is the singleflight read path: the first caller for a
 // (shard, method, args) tuple becomes the leader and performs the
 // invocation; callers arriving while it is in flight park on queues and
 // receive the leader's result without issuing an RMI of their own.
-func (g *ShardGroup) coalesce(p sched.Proc, owner string, obj *Object, method string, args []any) (any, error) {
+func (g *ShardGroup) coalesce(p sched.Proc, owner string, obj *Object, method string, args []any, class string) (any, error) {
 	fkey := fmt.Sprintf("%s\x00%s\x00%v", owner, method, args)
 	g.mu.Lock()
 	if f, ok := g.flights[fkey]; ok {
@@ -287,7 +311,7 @@ func (g *ShardGroup) coalesce(p sched.Proc, owner string, obj *Object, method st
 		g.mu.Unlock()
 		g.app.world.reg.Counter(metrics.Label("js_shard_coalesced_total", "group", g.name)).Inc()
 		// A follower is still one finished request: it spends real time
-		// parked on the leader, so it feeds the read class's SLO
+		// parked on the leader, so it feeds its own class's SLO
 		// accounting even though no span of its own crosses the wire.
 		watch := sched.StartWatch(g.app.world.s)
 		v, ok := p.Recv(q)
@@ -295,13 +319,13 @@ func (g *ShardGroup) coalesce(p sched.Proc, owner string, obj *Object, method st
 			return nil, errors.New("core: shard group shut down mid-flight")
 		}
 		r := v.(flightResult)
-		g.app.world.observeRequest(ClassRead, watch.Elapsed(), r.err != nil)
+		g.app.world.observeRequest(class, watch.Elapsed(), r.err != nil)
 		return r.res, r.err
 	}
 	f := &flight{}
 	g.flights[fkey] = f
 	g.mu.Unlock()
-	res, err := g.app.invokeObject(p, obj.id, method, args, trace.SpanSync, owner, ClassRead)
+	res, err := g.app.invokeObject(p, obj.id, method, args, trace.SpanSync, owner, class)
 	g.mu.Lock()
 	delete(g.flights, fkey)
 	waiters := f.waiters
@@ -468,10 +492,11 @@ type ShardInfo struct {
 
 // ShardGroupInfo describes a group for the shell and tests.
 type ShardGroupInfo struct {
-	Name   string
-	Class  string
-	Vnodes int
-	Shards []ShardInfo
+	Name      string
+	Class     string
+	Vnodes    int
+	Shards    []ShardInfo
+	Admission *AdmissionState // nil when the group has no admission policy
 }
 
 // Info snapshots the group.
@@ -485,6 +510,9 @@ func (g *ShardGroup) Info() ShardGroupInfo {
 	}
 	g.mu.Unlock()
 	info := ShardGroupInfo{Name: g.name, Class: g.class, Vnodes: vnodes}
+	if st, ok := g.Admission(); ok {
+		info.Admission = &st
+	}
 	for i, n := range names {
 		si := ShardInfo{Shard: n}
 		if o := objs[i]; o != nil {

@@ -62,6 +62,12 @@ type (
 		Args   []any
 		Span   uint64
 		Read   bool
+		// Class is the caller-declared request class (empty outside
+		// shard-group InvokeClass traffic).  It rides the wire so the
+		// host can refuse work whose class the admission controller shed
+		// while the request was in flight or parked in the mailbox
+		// (dequeue-time shedding, DESIGN.md §12).
+		Class string
 	}
 	// invokeResp returns the method result.  Service is the scheduler
 	// time the method body ran at the host, letting the caller split its

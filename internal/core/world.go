@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"sync"
+	"sync/atomic"
 
 	"jsymphony/internal/chaos"
 	"jsymphony/internal/codebase"
@@ -71,6 +72,24 @@ type World struct {
 	reg    *metrics.Registry
 	router *replica.Router // nearest-replica read routing
 	slo    *slo.Engine     // per-class latency objectives
+
+	// queueBound caps each hosted object's in-flight invocations
+	// (-1 = unbounded).  Atomic: the invoke hot path reads it on every
+	// request, and experiments flip it between runs.
+	queueBound atomic.Int64
+
+	// shedClasses is the installation-wide set of request classes some
+	// admission controller is currently refusing, counted per class so
+	// independent groups shedding the same class compose.  Runtimes
+	// consult it at invoke arrival and at the write-serialization
+	// dequeue point: a request whose class was shed while it traveled
+	// or queued is refused instead of executed, so escalation drains
+	// doomed backlog instantly rather than one service time at a time
+	// (DESIGN.md §12).  Own mutex: read on the host's invoke path,
+	// which must not contend with w.mu.
+	shedMu      sync.Mutex
+	shedClasses map[string]int
+	classRanks  map[string]int // class -> admission priority (0 = most important)
 
 	// The flight recorder has its own mutex: dump triggers fire from
 	// emit and from the SLO engine's breach callback, and a dump reads
@@ -184,7 +203,83 @@ func newWorld(s sched.Sched, opt Options) *World {
 		router:   replica.NewRouter(),
 	}
 	w.slo = slo.NewEngine(s.Now, slo.Options{OnBreach: w.onSLOBreach})
+	w.queueBound.Store(-1)
 	return w
+}
+
+// SetInvokeQueueBound caps the number of invocations that may execute
+// concurrently on any one hosted object.  A request arriving at a full
+// mailbox is shed immediately with a typed rmi.ErrOverload — it is never
+// queued, never retried by the RMI layer (a shed is a response, not a
+// lost message), and surfaces to the caller unwrapped by the location
+// retry loop.  n < 0 restores the default unbounded mailboxes; n == 0
+// is a zero-capacity queue that sheds everything (useful for drains and
+// tests).  The bound is installation-wide and takes effect on the next
+// invocation.
+func (w *World) SetInvokeQueueBound(n int) {
+	if n < 0 {
+		n = -1
+	}
+	w.queueBound.Store(int64(n))
+}
+
+// InvokeQueueBound returns the current per-object invoke-queue bound
+// (-1 = unbounded).
+func (w *World) InvokeQueueBound() int { return int(w.queueBound.Load()) }
+
+// markClassShed records that one admission controller started (on) or
+// stopped (off) shedding class.  Counted, not boolean: two groups
+// shedding "bronze" must both re-admit before hosts execute it again.
+func (w *World) markClassShed(class string, on bool) {
+	w.shedMu.Lock()
+	defer w.shedMu.Unlock()
+	if w.shedClasses == nil {
+		w.shedClasses = make(map[string]int)
+	}
+	if on {
+		w.shedClasses[class]++
+	} else if w.shedClasses[class] > 0 {
+		w.shedClasses[class]--
+	}
+}
+
+// classShed reports whether any admission controller currently sheds
+// class.  The empty class (untagged traffic) is never shed here.
+func (w *World) classShed(class string) bool {
+	if class == "" {
+		return false
+	}
+	w.shedMu.Lock()
+	defer w.shedMu.Unlock()
+	return w.shedClasses[class] > 0
+}
+
+// setClassRanks publishes an admission policy's priority order so hosts
+// can run the priority mailbox (rank 0 = most important).  When two
+// groups rank the same class the later policy wins; ranks only shape
+// which occupancy a bound check counts, so a stale entry degrades to
+// the old class-blind behaviour, never to lost requests.
+func (w *World) setClassRanks(classes []string) {
+	w.shedMu.Lock()
+	defer w.shedMu.Unlock()
+	if w.classRanks == nil {
+		w.classRanks = make(map[string]int)
+	}
+	for i, c := range classes {
+		w.classRanks[c] = i
+	}
+}
+
+// classRank looks up a class's admission priority (ok=false for
+// unranked traffic, which every bound check counts conservatively).
+func (w *World) classRank(class string) (int, bool) {
+	if class == "" {
+		return 0, false
+	}
+	w.shedMu.Lock()
+	defer w.shedMu.Unlock()
+	r, ok := w.classRanks[class]
+	return r, ok
 }
 
 // addNode attaches one node: station, agent, runtime.  The first node

@@ -14,6 +14,7 @@ type stationMetrics struct {
 
 	callLatency *metrics.Histogram // js_rmi_call_latency_us{node}
 	timeouts    *metrics.Counter   // js_rmi_timeouts_total{node}
+	sheds       *metrics.Counter   // js_rmi_sheds_total{node}
 	retries     *metrics.Counter   // js_rmi_retries_total{node}
 	dups        *metrics.Counter   // js_rmi_dup_requests_total{node}
 	calls       *metrics.Counter   // js_rmi_calls_total{node}
@@ -39,6 +40,7 @@ func newStationMetrics(reg *metrics.Registry, node string) *stationMetrics {
 		node:        node,
 		callLatency: reg.Histogram(metrics.Label("js_rmi_call_latency_us", "node", node), nil),
 		timeouts:    reg.Counter(metrics.Label("js_rmi_timeouts_total", "node", node)),
+		sheds:       reg.Counter(metrics.Label("js_rmi_sheds_total", "node", node)),
 		retries:     reg.Counter(metrics.Label("js_rmi_retries_total", "node", node)),
 		dups:        reg.Counter(metrics.Label("js_rmi_dup_requests_total", "node", node)),
 		calls:       reg.Counter(metrics.Label("js_rmi_calls_total", "node", node)),

@@ -23,6 +23,7 @@ package rmi
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -93,6 +94,15 @@ var (
 	ErrClosed    = errors.New("rmi: station closed")
 	ErrNoService = errors.New("rmi: no such service")
 	ErrNoRoute   = errors.New("rmi: no route to node")
+
+	// ErrOverload is a load-shed rejection: the receiver answered, it
+	// just refused the work (a bounded invoke queue was full, or an
+	// admission controller dropped the request's class).  A shed is a
+	// response, not a lost message, so the retry machinery never fires
+	// for it — retrying into an overloaded server only deepens the
+	// collapse.  Callers distinguish "slow" (ErrTimeout, retryable)
+	// from "refused" (ErrOverload, report upstream) with errors.Is.
+	ErrOverload = errors.New("rmi: overloaded")
 )
 
 // RemoteError wraps an error string produced by a remote handler.
@@ -103,6 +113,16 @@ type RemoteError struct {
 
 func (e *RemoteError) Error() string {
 	return fmt.Sprintf("rmi: remote error from %s: %s", e.Node, e.Msg)
+}
+
+// Unwrap surfaces typed sentinels that survive the wire as message
+// strings, so errors.Is(err, ErrOverload) works on a caller's side of a
+// remote shed exactly as it does on the shedding node.
+func (e *RemoteError) Unwrap() error {
+	if strings.HasPrefix(e.Msg, ErrOverload.Error()) {
+		return ErrOverload
+	}
+	return nil
 }
 
 // IsRemote reports whether err (or anything it wraps) is a RemoteError
@@ -459,6 +479,15 @@ func (st *Station) CallPadded(p sched.Proc, to, service, method string, body []b
 	if resp.Err != "" {
 		if resp.Err == ErrNoService.Error() {
 			return nil, fmt.Errorf("%w: %s on %s", ErrNoService, service, to)
+		}
+		// A shed is a definitive answer that arrived on time: count it
+		// apart from timeouts so the two failure modes never alias in
+		// the stats, and return without consuming retry budget.
+		if strings.HasPrefix(resp.Err, ErrOverload.Error()) {
+			st.stats.sheds.Add(1)
+			if m := st.metrics; m != nil {
+				m.sheds.Inc()
+			}
 		}
 		return nil, &RemoteError{Node: to, Msg: resp.Err}
 	}

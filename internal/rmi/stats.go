@@ -9,6 +9,7 @@ type Stats struct {
 	oneway   atomic.Int64 // one-way messages sent
 	served   atomic.Int64 // requests served (incl. one-way)
 	timeouts atomic.Int64 // call attempts that timed out
+	sheds    atomic.Int64 // calls refused by the callee under overload
 	retries  atomic.Int64 // request re-sends under a retry policy
 	dups     atomic.Int64 // duplicate idempotent requests suppressed
 	stale    atomic.Int64 // responses that arrived after their call gave up
@@ -22,6 +23,7 @@ type StatsSnapshot struct {
 	OneWaySent int64 // one-way messages sent
 	Served     int64 // inbound requests dispatched to handlers
 	Timeouts   int64 // call attempts abandoned on timeout
+	Sheds      int64 // calls answered with an overload rejection
 	Retries    int64 // request re-sends under a retry policy
 	Dups       int64 // duplicate idempotent requests suppressed
 	Stale      int64 // late responses dropped
@@ -35,6 +37,7 @@ func (s *Stats) snapshot() StatsSnapshot {
 		OneWaySent: s.oneway.Load(),
 		Served:     s.served.Load(),
 		Timeouts:   s.timeouts.Load(),
+		Sheds:      s.sheds.Load(),
 		Retries:    s.retries.Load(),
 		Dups:       s.dups.Load(),
 		Stale:      s.stale.Load(),
@@ -49,6 +52,7 @@ func (s StatsSnapshot) Add(o StatsSnapshot) StatsSnapshot {
 	s.OneWaySent += o.OneWaySent
 	s.Served += o.Served
 	s.Timeouts += o.Timeouts
+	s.Sheds += o.Sheds
 	s.Retries += o.Retries
 	s.Dups += o.Dups
 	s.Stale += o.Stale

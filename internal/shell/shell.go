@@ -150,6 +150,8 @@ func (s *Shell) Exec(p sched.Proc, line string) (string, error) {
 		return s.replicas(), nil
 	case "shards":
 		return s.shards(), nil
+	case "admission":
+		return s.admission(), nil
 	case "rset":
 		return s.rset(p, args)
 	case "kill", "revive":
@@ -182,6 +184,7 @@ const helpText = `JS-Shell commands:
   storage                       list persistent object keys
   replicas                      replica sets: primary, members, mode, lease
   shards                        shard groups: ring members, hosting, replicas
+  admission                     shard-router admission: shed level per group
   rset <app>/<obj> n=<N> [mode=strong|eventual] [reads=M1,M2] [lease=250ms]
                                 replicate an object (N read replicas)
   automigrate on <period>|off   toggle automatic object migration
@@ -251,11 +254,11 @@ func (s *Shell) objects() string {
 
 func (s *Shell) stats() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-12s %8s %8s %8s %10s %10s %8s %8s\n",
-		"NODE", "CALLS", "ONEWAY", "SERVED", "BYTES-OUT", "BYTES-IN", "TIMEOUT", "STALE")
+	fmt.Fprintf(&b, "%-12s %8s %8s %8s %10s %10s %8s %8s %8s\n",
+		"NODE", "CALLS", "ONEWAY", "SERVED", "BYTES-OUT", "BYTES-IN", "TIMEOUT", "SHED", "STALE")
 	row := func(name string, st rmi.StatsSnapshot) {
-		fmt.Fprintf(&b, "%-12s %8d %8d %8d %10d %10d %8d %8d\n",
-			name, st.CallsSent, st.OneWaySent, st.Served, st.BytesOut, st.BytesIn, st.Timeouts, st.Stale)
+		fmt.Fprintf(&b, "%-12s %8d %8d %8d %10d %10d %8d %8d %8d\n",
+			name, st.CallsSent, st.OneWaySent, st.Served, st.BytesOut, st.BytesIn, st.Timeouts, st.Sheds, st.Stale)
 	}
 	var total rmi.StatsSnapshot
 	for _, n := range s.w.Nodes() {
@@ -615,6 +618,34 @@ func (s *Shell) shards() string {
 	}
 	if n == 0 {
 		return "(no shard groups)\n"
+	}
+	return b.String()
+}
+
+// admission renders every shard group's admission-controller state: the
+// current shed level, which classes are refused, and the shed counters.
+func (s *Shell) admission() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %6s %-24s %8s %10s\n",
+		"GROUP", "LEVEL", "SHEDDING", "CHANGES", "SHED-TOTAL")
+	n := 0
+	for _, a := range s.w.Apps() {
+		for _, g := range a.ShardGroups() {
+			if g.Admission == nil {
+				continue
+			}
+			shedding := strings.Join(g.Admission.Shed, ",")
+			if shedding == "" {
+				shedding = "(none)"
+			}
+			fmt.Fprintf(&b, "%-14s %6d %-24s %8d %10d\n",
+				g.Name, g.Admission.Level, shedding,
+				g.Admission.Changes, g.Admission.ShedTotal)
+			n++
+		}
+	}
+	if n == 0 {
+		return "(no admission-controlled shard groups)\n"
 	}
 	return b.String()
 }

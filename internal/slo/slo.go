@@ -240,6 +240,24 @@ func (e *Engine) burnLocked(cs *classState, now time.Duration) float64 {
 	return float64(missed) / float64(total) / allowed
 }
 
+// Burn returns the class's current burn rate over the live window — the
+// observed miss fraction divided by the objective's allowance (burn 1.0
+// spends the error budget exactly at the sustainable rate).  Undeclared
+// or unseen classes burn 0.  This is the control signal admission
+// controllers consume: it is a pure function of the recorded request
+// stream and the scheduler clock, so control decisions driven by it
+// stay deterministic.
+func (e *Engine) Burn(class string) float64 {
+	now := e.now()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cs, ok := e.classes[class]
+	if !ok {
+		return 0
+	}
+	return e.burnLocked(cs, now)
+}
+
 // ClassReport is one class's line in a Report.
 type ClassReport struct {
 	Class      string  `json:"class"`

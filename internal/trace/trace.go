@@ -60,6 +60,12 @@ const (
 	// SLOBreach marks a request class burning its error budget past the
 	// engine's threshold (internal/slo); the flight recorder dumps on it.
 	SLOBreach Kind = "slo.breach"
+
+	// Overload kinds: a bounded invoke queue refused a call
+	// (OverloadShed), or a shard router's admission controller changed
+	// which client classes it drops (AdmissionLevel).
+	OverloadShed   Kind = "overload.shed"
+	AdmissionLevel Kind = "admission.level"
 )
 
 // Event is one record.

@@ -394,16 +394,41 @@ func (g *ShardGroup) Invoke(key, method string, args ...any) (any, error) {
 	return g.g.Invoke(g.js.p, key, method, args...)
 }
 
+// InvokeClass is Invoke with a caller-declared request class: the
+// request enrolls in SLO accounting under class instead of the implicit
+// "read"/"write", and passes through the group's admission controller —
+// a currently-shed class is refused immediately with ErrOverload.
+func (g *ShardGroup) InvokeClass(class, key, method string, args ...any) (any, error) {
+	return g.g.InvokeClass(g.js.p, class, key, method, args...)
+}
+
 // AInvoke is the asynchronous variant of Invoke.
 func (g *ShardGroup) AInvoke(key, method string, args ...any) *ResultHandle {
+	return g.AInvokeClass("", key, method, args...)
+}
+
+// AInvokeClass is the asynchronous variant of InvokeClass.
+func (g *ShardGroup) AInvokeClass(class, key, method string, args ...any) *ResultHandle {
 	h := newWrappedHandle(g.js)
 	cg := g.g
 	g.js.app.World().Sched().Spawn("ainvoke-shard:"+cg.Name(), func(p sched.Proc) {
-		res, err := cg.Invoke(p, key, method, args...)
+		res, err := cg.InvokeClass(p, class, key, method, args...)
 		h.h.Deliver(res, err)
 	})
 	return h
 }
+
+// SetAdmission installs (or replaces) the group's admission policy:
+// when a surviving class's SLO burn rate crosses the policy threshold,
+// the router sheds the lowest-priority classes first, re-admitting them
+// as the burn subsides.
+func (g *ShardGroup) SetAdmission(pol AdmissionPolicy) error {
+	return g.g.SetAdmission(pol)
+}
+
+// Admission snapshots the group's admission controller (ok=false when
+// no policy is installed).
+func (g *ShardGroup) Admission() (AdmissionState, bool) { return g.g.Admission() }
 
 // Grow adds one shard on the given node ("" lets JRS pick) and hands
 // off the ~K/S keys the ring reassigns to it.
