@@ -33,6 +33,7 @@ import (
 	"jsymphony/internal/slo"
 	"jsymphony/internal/trace"
 	"jsymphony/internal/virtarch"
+	"jsymphony/internal/wal"
 )
 
 // Virtual architecture components (paper §3, §4.2).
@@ -101,6 +102,31 @@ type (
 	// PersistRecord is one stored object.
 	PersistRecord = core.PersistRecord
 )
+
+// Durable log-structured object store (DESIGN.md §13): per-node
+// write-ahead logs with group commit, incremental checkpoints, and
+// crash-consistent replay.
+type (
+	// DurabilityOptions configures the per-node WALs (commit interval,
+	// checkpoint watermarks, and the stable media they live on).
+	DurabilityOptions = core.DurabilityOptions
+	// WALStable is the simulated stable-storage layer the logs live on;
+	// it survives environment teardown, so a second environment over the
+	// same WALStable models a whole-cluster restart.
+	WALStable = wal.Stable
+	// WALStats is one node's media statistics.
+	WALStats = wal.Stats
+	// DurableRecovery reports one application's whole-cluster restore.
+	DurableRecovery = core.DurableRecovery
+)
+
+// NewWALStable returns a fresh stable-storage layer for durable
+// environments; the seed fixes the media CRC chain.
+func NewWALStable(seed int64) *WALStable { return wal.NewStable(seed) }
+
+// ErrNotFound marks a Storage.Get miss: no record is stored under the
+// key.  Detect it with errors.Is.
+var ErrNotFound = core.ErrNotFound
 
 // NewMemStorage returns an in-memory persistent-object store.
 func NewMemStorage() Storage { return core.NewMemStorage() }

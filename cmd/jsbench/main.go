@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "fig5", "experiment to run (fig5, mandel, automigrate, recovery, replica, shard, slo, serve)")
+	experiment := flag.String("experiment", "fig5", "experiment to run (fig5, mandel, automigrate, recovery, recover, replica, shard, slo, serve)")
 	sizes := flag.String("sizes", "200,400,600,800", "comma-separated problem sizes")
 	maxNodes := flag.Int("maxnodes", 13, "sweep node counts 1..maxnodes")
 	seed := flag.Int64("seed", 1, "simulation seed")
@@ -42,6 +42,8 @@ func main() {
 		runE3(*seed)
 	case "recovery":
 		runRecovery(*seed)
+	case "recover":
+		runRecover(*seed, *out)
 	case "replica":
 		runReplica(*seed, *out)
 	case "shard":
@@ -65,6 +67,38 @@ func runRecovery(seed int64) {
 	experiments.WriteRecovery(os.Stdout, cfg, r)
 	if !r.Correct {
 		fmt.Fprintln(os.Stderr, "jsbench: recovered run produced a WRONG product")
+		os.Exit(1)
+	}
+}
+
+func runRecover(seed int64, out string) {
+	fmt.Println("Recover — durable log-structured object store (internal/wal)")
+	fmt.Println("(group commit, incremental checkpoints, crash-consistent replay; DESIGN.md §13)")
+	fmt.Println()
+	cfg := experiments.RecoverConfig{Seed: seed}
+	res := experiments.Recover(cfg)
+	experiments.WriteRecover(os.Stdout, res)
+	if out == "" {
+		out = "BENCH_recover.json"
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jsbench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := experiments.WriteRecoverJSON(f, res); err != nil {
+		fmt.Fprintf(os.Stderr, "jsbench: %v\n", err)
+		os.Exit(1)
+	}
+	f.Close()
+	fmt.Printf("result written to %s\n", out)
+	fmt.Println()
+	lines, ok := experiments.RecoverReportLines(res)
+	fmt.Println("Subsystem claims:")
+	for _, l := range lines {
+		fmt.Println("  " + l)
+	}
+	if !ok {
 		os.Exit(1)
 	}
 }

@@ -31,6 +31,11 @@ type EnvOptions struct {
 	// (0 = a default 200µs; negative = genuinely instant delivery,
 	// bypassing timers).
 	MemLatency time.Duration
+	// Durability enables the per-node write-ahead log on simulated
+	// environments: objects marked Persist survive node crashes and
+	// whole-cluster restarts via log replay (DESIGN.md §13).  nil keeps
+	// durability off.
+	Durability *DurabilityOptions
 }
 
 func (o EnvOptions) coreOptions() core.Options {
@@ -40,6 +45,7 @@ func (o EnvOptions) coreOptions() core.Options {
 		Cost:       o.Cost,
 		Default:    o.Default,
 		MemLatency: o.MemLatency,
+		Durability: o.Durability,
 	}
 }
 
@@ -140,6 +146,11 @@ func (e *Env) SetInvokeQueueBound(n int) { e.w.SetInvokeQueueBound(n) }
 // InvokeQueueBound returns the current per-object bound (-1 = unbounded).
 func (e *Env) InvokeQueueBound() int { return e.w.InvokeQueueBound() }
 
+// WALStatus reports every durability-enabled node's write-ahead-log
+// media statistics (appends, flushes, checkpoints, torn bytes), in
+// node-attach order.  Empty when durability is off.
+func (e *Env) WALStatus() []WALStats { return e.w.WALStatus() }
+
 // RunMain drives a simulated environment: it starts the installation,
 // waits one monitoring round so agents report in, registers an
 // application on the given home node ("" = the first node), runs fn,
@@ -158,6 +169,26 @@ func (e *Env) RunMain(home string, fn func(js *JS)) {
 		js := &JS{env: e, app: app, p: p}
 		defer app.Unregister(p)
 		fn(js)
+	})
+}
+
+// RunMainDurable is RunMain without the final Unregister: on a
+// durability-enabled environment the application's persisted objects
+// are supposed to outlive the installation, and unregistering would
+// tombstone them.  A later environment over the same stable media
+// replays them with JS.RecoverDurable — the whole-cluster-restart path
+// of DESIGN.md §13.
+func (e *Env) RunMainDurable(home string, fn func(js *JS)) {
+	e.w.RunMain(func(p sched.Proc) {
+		p.Sleep(settleTime(e))
+		if home == "" {
+			home = e.w.Nodes()[0]
+		}
+		app, err := e.w.Register(home)
+		if err != nil {
+			panic(err)
+		}
+		fn(&JS{env: e, app: app, p: p})
 	})
 }
 

@@ -38,6 +38,7 @@ type App struct {
 	recovering  map[string]bool // dead nodes with a recovery pass in flight
 	authOn      bool            // write-authority renewal proc started
 	shardGroups map[string]*ShardGroup
+	durManSeq   uint64 // durable-manifest revision counter
 }
 
 // objEntry is one local-objects-table row.
@@ -49,6 +50,8 @@ type objEntry struct {
 	freed    bool
 	pol      *replica.Policy // non-nil once Replicate was applied
 	replicas []string        // current read-replica nodes, sorted
+	durable  bool            // WAL-backed: survives crashes via log replay
+	durReads []string        // methods durability treats as reads (no logging)
 
 	// Write-authority bookkeeping (see replica_app.go).  authHorizon is
 	// the expiry of the latest authority grant that might have reached

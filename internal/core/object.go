@@ -255,6 +255,7 @@ func (a *App) invokeObject(p sched.Proc, id uint64, method string, args []any, k
 		resp, err := a.rt.invokeAt(p, target, e.ref, method, args, sr.span.ID, read, class)
 		if err == nil {
 			sr.span.Staleness = resp.Staleness
+			sr.span.Durability = resp.Durability
 			a.world.noteRead(read, resp)
 			sr.finish(target, resp.Service, resp.LeaseWait, nil)
 			return resp.Result, nil
@@ -313,10 +314,16 @@ func (a *App) freeEntry(p sched.Proc, e *objEntry) error {
 		return nil
 	}
 	e.freed = true
+	wasDurable := e.durable
 	a.mu.Unlock()
 	a.dropReplicas(p, e)
 	body := rmi.MustMarshal(freeReq{App: e.ref.App, ID: e.ref.ID})
 	_, err := a.rt.st.Call(p, e.location, PubService, "free", body, 10*time.Second)
+	if wasDurable {
+		// The host wrote the tombstone; the manifest must stop listing the
+		// object too, or a cluster restart would try to resurrect it.
+		a.writeDurManifest(p)
+	}
 	return err
 }
 
@@ -453,11 +460,17 @@ func (a *App) migrateEntry(p sched.Proc, e *objEntry, dest string) error {
 	a.mu.Lock()
 	e.location = dest
 	replicated := e.pol != nil && len(e.replicas) > 0
+	durable := e.durable
 	a.mu.Unlock()
 	if replicated {
 		// The new host starts with a fresh update counter; re-seed the set
 		// from it so replica versions restart in step with the primary.
 		a.reconfigureAfterMove(p, e)
+	}
+	if durable {
+		// The manifest records the recorded home node; keep it current so
+		// a cluster restart places the object where it last lived.
+		a.writeDurManifest(p)
 	}
 	a.world.emit(trace.Event{Kind: trace.ObjMigrated, Node: dest, App: ref.App, Obj: ref.ID, Detail: src + " -> " + dest})
 	a.world.reg.Counter("js_core_migrations_total").Inc()

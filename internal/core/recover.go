@@ -128,12 +128,31 @@ func (a *App) RecoverFrom(p sched.Proc, deadNode string) (recovered, lost []Ref)
 	// Handle order keeps the recovery RMI sequence deterministic.
 	sort.Slice(victims, func(i, j int) bool { return victims[i].ref.ID < victims[j].ref.ID })
 
+	// Durable objects replay from the dead node's WAL.  The replay scan
+	// is shared across all this pass's victims and built lazily, so a
+	// failure that killed no durable object costs no disk reads.
+	var snapCache *walSnapshot
+	snapBuilt := false
+	snapFn := func() *walSnapshot {
+		if !snapBuilt {
+			snapBuilt = true
+			snapCache = a.world.walReplayAll(p, a.rt)
+		}
+		return snapCache
+	}
+
 	for _, e := range victims {
 		// A replicated object promotes a surviving replica — availability
 		// restored from live state, no checkpoint round trip, no lost
 		// strong-mode writes.  Checkpoint restore is the fallback when the
 		// whole set died.
 		if a.promoteEntry(p, e, deadNode) {
+			recovered = append(recovered, e.ref)
+			continue
+		}
+		// A durable object replays its last logged state — every acked
+		// write present, unlike the periodic checkpoint below.
+		if a.world.durOpts != nil && a.recoverDurableEntry(p, e, deadNode, snapFn) {
 			recovered = append(recovered, e.ref)
 			continue
 		}
@@ -220,7 +239,7 @@ func (a *App) liveCandidates(p sched.Proc, comp virtarch.Component, constr *para
 // trigger recovery when it is enabled.
 func (a *App) armRecovery(notify func(nas.Event)) func(nas.Event) {
 	return func(e nas.Event) {
-		if e.Kind == nas.EventNodeFailed && (a.RecoveryEnabled() || a.hasReplicas()) {
+		if e.Kind == nas.EventNodeFailed && (a.RecoveryEnabled() || a.hasReplicas() || a.hasDurable()) {
 			node := e.Node
 			a.world.s.Spawn("oas.recover:"+a.id, func(p sched.Proc) {
 				a.RecoverFrom(p, node)

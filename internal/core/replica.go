@@ -28,6 +28,7 @@ import (
 	"jsymphony/internal/rmi"
 	"jsymphony/internal/sched"
 	"jsymphony/internal/trace"
+	"jsymphony/internal/wal"
 )
 
 // replicaCallTimeout bounds one replication-protocol RMI (update, renew,
@@ -123,6 +124,14 @@ func (rt *Runtime) replicaConfigure(req replicaConfigureReq) error {
 	for _, m := range req.Reads {
 		rs.reads[m] = true
 	}
+	if h.durable {
+		// Promotion path: the new primary inherits the policy's read set
+		// as its durable-read exclusions, so reads never stall on fsync.
+		h.durReads = make(map[string]bool, len(req.Reads))
+		for _, m := range req.Reads {
+			h.durReads[m] = true
+		}
+	}
 	return nil
 }
 
@@ -179,7 +188,7 @@ func (rs *replState) authorityLapsed(now time.Duration) bool {
 // at-least-once resends and the eventual mode's unordered one-way posts:
 // state can never roll backwards.  Force bypasses the version check for
 // re-seeds after migration, where the primary's counter restarts.
-func (rt *Runtime) replicaApply(req replicaUpdateReq) error {
+func (rt *Runtime) replicaApply(p sched.Proc, req replicaUpdateReq) error {
 	key := objKey{req.Ref.App, req.Ref.ID}
 	inst, err := rt.store.New(req.Ref.Class)
 	if err != nil {
@@ -221,9 +230,25 @@ func (rt *Runtime) replicaApply(req replicaUpdateReq) error {
 	if req.Mode == replica.Strong {
 		rs.leaseUntil = now + req.Lease
 	}
+	if req.Durable {
+		h.durable = true
+		if req.DurVer > h.durVer {
+			h.durVer = req.DurVer
+		}
+	}
 	rt.mu.Unlock()
 	rt.updateObjectGauge()
 	rt.world.reg.Counter(metrics.Label("js_replica_applies_total", "node", rt.Node())).Inc()
+	if req.Durable && rt.dur != nil {
+		// Log before the RMI reply leaves: a synchronous propagation of a
+		// durable write acks only once this copy is on stable storage, so
+		// MinSync counts logged copies, not merely delivered ones.
+		if _, err := rt.durAppend(p, wal.Record{
+			Kind: wal.KindUpdate, Key: durObjKey(req.Ref.App, req.Ref.ID), Ver: req.DurVer, Data: req.State,
+		}, true); err != nil {
+			return fmt.Errorf("oas: replica durable log: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -437,6 +462,15 @@ func (rt *Runtime) propagate(p sched.Proc, h *hostedObj, rs *replState, cause ui
 	req := replicaUpdateReq{
 		Ref: h.ref, State: state, Version: rs.version, AsOf: now,
 		Lease: rs.lease, Mode: rs.mode, Primary: rt.Node(),
+	}
+	if rt.dur != nil && h.durable {
+		// Bump the shared durable version under the same lock as the
+		// replica version so every logged copy of this write — primary and
+		// synchronously-updated peers — carries the identical Ver, which
+		// is what lets replay merge per-node logs by max version.
+		h.durVer++
+		req.Durable = true
+		req.DurVer = h.durVer
 	}
 	peers := append([]string(nil), rs.peers...)
 	mode := rs.mode

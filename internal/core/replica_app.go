@@ -192,6 +192,14 @@ func (a *App) ensureAuthRenewer() {
 	a.world.s.Spawn("oas.authlease:"+a.id, func(p sched.Proc) {
 		for {
 			p.Sleep(authPeriod)
+			a.world.mu.Lock()
+			down := a.world.shutDown
+			a.world.mu.Unlock()
+			if down {
+				// Installation shutdown without Unregister (e.g. a durable
+				// app whose objects outlive the world): stop renewing.
+				return
+			}
 			a.mu.Lock()
 			if a.done {
 				a.mu.Unlock()

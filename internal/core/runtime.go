@@ -16,6 +16,7 @@ import (
 	"jsymphony/internal/sched"
 	"jsymphony/internal/simnet"
 	"jsymphony/internal/trace"
+	"jsymphony/internal/wal"
 )
 
 // Runtime is the per-node JRS installation: the RMI station, the node's
@@ -27,6 +28,10 @@ type Runtime struct {
 	agent *nas.Agent
 	store *codebase.Store
 	mach  *simnet.Machine // nil outside the simulation
+
+	// dur is the node's durability engine (nil when the world was built
+	// without DurabilityOptions): the write-ahead log front and media.
+	dur *durState
 
 	mu        sync.Mutex
 	hosted    map[objKey]*hostedObj
@@ -57,6 +62,15 @@ type hostedObj struct {
 	migrating bool       // state is being serialized / shipped
 	wanted    bool       // a migration or store is waiting for quiescence
 	repl      *replState // nil unless the object is replicated (see replica.go)
+
+	// Durability (see durable.go).  durVer orders this object's WAL
+	// records; on a replicated object the primary bumps it under the fan
+	// lock and ships it with each propagation, so every member logs the
+	// same state under the same version and crash replay can merge the
+	// media by max-Ver.
+	durable  bool
+	durReads map[string]bool // methods that do not mutate state
+	durVer   uint64
 }
 
 // Ctx gives application methods access to their execution context.  A
@@ -260,7 +274,19 @@ func (rt *Runtime) handlePub(p sched.Proc, from, method string, body []byte) ([]
 		if err := rmi.Unmarshal(body, &req); err != nil {
 			return nil, err
 		}
-		return nil, rt.replicaApply(req)
+		return nil, rt.replicaApply(p, req)
+	case "durable":
+		var req durableReq
+		if err := rmi.Unmarshal(body, &req); err != nil {
+			return nil, err
+		}
+		return nil, rt.makeDurable(req)
+	case "durableInstall":
+		var req durableInstallReq
+		if err := rmi.Unmarshal(body, &req); err != nil {
+			return nil, err
+		}
+		return nil, rt.durableInstall(req)
 	case "replicaAuthRenew":
 		var req replicaAuthRenewReq
 		if err := rmi.Unmarshal(body, &req); err != nil {
@@ -440,6 +466,13 @@ func (rt *Runtime) invoke(p sched.Proc, req invokeReq) (invokeResp, error) {
 	// A write whose ack promises synchronous copies — strong mode, or
 	// eventual with MinSync > 0 — must be undone if no peer receives it.
 	syncWrite := primaryWrite && (rs.mode == replica.Strong || rs.minSync > 0)
+	// A state-changing invocation on a durable object is WAL-logged
+	// before the ack; declared reads (durable or replica policy) skip
+	// the log.
+	durWrite := rt.dur != nil && h.durable && !h.durReads[req.Method]
+	if rs != nil && rs.reads[req.Method] {
+		durWrite = false
+	}
 	var rset replica.Set
 	if rs != nil && len(rs.peers) > 0 {
 		rset = rs.setSnapshot(rt.Node())
@@ -500,7 +533,26 @@ func (rt *Runtime) invoke(p sched.Proc, req invokeReq) (invokeResp, error) {
 			}
 		}
 	}
-	return invokeResp{Result: res, Service: service, RSet: rset}, err
+	var durStall time.Duration
+	if durWrite && err == nil {
+		if !primaryWrite {
+			// Unreplicated durable write: bump the version here (a
+			// replicated write already bumped it inside propagate, under
+			// the fan lock, so every member logs the same Ver).
+			rt.mu.Lock()
+			h.durVer++
+			rt.mu.Unlock()
+		}
+		stall, derr := rt.durLogState(p, h)
+		if derr != nil {
+			// The write never reached stable storage (crash mid-commit).
+			// Deflect instead of acking: the caller's retry lands on the
+			// recovered object, so no acked write is ever lost.
+			return invokeResp{}, errors.New(errObjMoved)
+		}
+		durStall = stall
+	}
+	return invokeResp{Result: res, Service: service, RSet: rset, Durability: durStall}, err
 }
 
 // refuseShedClass builds the typed refusal for a request whose class an
@@ -553,11 +605,27 @@ func (rt *Runtime) migrateOut(p sched.Proc, req migrateOutReq) error {
 		rt.releaseMigrating(key)
 		return fmt.Errorf("oas: serialize for migration: %w", err)
 	}
+	// A durable object hands its WAL identity over: this node writes a
+	// tombstone at durVer+1 and the destination logs from durVer+2, so
+	// after the move only the destination's records are live in replay.
+	mreq := migrateInReq{Ref: h.ref, State: state}
+	var tombVer uint64
+	rt.mu.Lock()
+	if rt.dur != nil && h.durable {
+		mreq.Durable = true
+		mreq.DurReads = sortedMethods(h.durReads)
+		tombVer = h.durVer + 1
+		mreq.DurVer = h.durVer + 2
+	}
+	rt.mu.Unlock()
 	// Step 2-3: transfer and wait for pa2's confirmation.
-	body := rmi.MustMarshal(migrateInReq{Ref: h.ref, State: state})
+	body := rmi.MustMarshal(mreq)
 	if _, err := rt.st.Call(p, req.Dest, PubService, "migrateIn", body, 10*time.Second); err != nil {
 		rt.releaseMigrating(key) // migration failed; object stays usable
 		return err
+	}
+	if mreq.Durable {
+		_, _ = rt.durAppend(nil, wal.Record{Kind: wal.KindDelete, Key: durObjKey(key.app, key.id), Ver: tombVer}, false)
 	}
 	// Step 4: drop the local instance.
 	rt.free(key)
@@ -575,10 +643,26 @@ func (rt *Runtime) migrateIn(req migrateInReq) error {
 	}
 	rt.bind(inst)
 	key := objKey{req.Ref.App, req.Ref.ID}
+	ho := &hostedObj{ref: req.Ref, instance: inst}
+	if req.Durable {
+		ho.durable = true
+		ho.durReads = make(map[string]bool, len(req.DurReads))
+		for _, m := range req.DurReads {
+			ho.durReads[m] = true
+		}
+		ho.durVer = req.DurVer
+	}
 	rt.mu.Lock()
-	rt.hosted[key] = &hostedObj{ref: req.Ref, instance: inst}
+	rt.hosted[key] = ho
 	rt.mu.Unlock()
 	rt.updateObjectGauge()
+	if req.Durable && rt.dur != nil {
+		// Log the arrived state so this node's WAL owns the object from
+		// the handover version on.
+		_, _ = rt.durAppend(nil, wal.Record{
+			Kind: wal.KindUpdate, Key: durObjKey(key.app, key.id), Ver: req.DurVer, Data: req.State,
+		}, false)
+	}
 	return nil
 }
 
@@ -634,7 +718,21 @@ func (rt *Runtime) free(key objKey) {
 // freeTraced drops a hosted object and records it (explicit frees; the
 // removal half of a migration is part of the migration event instead).
 func (rt *Runtime) freeTraced(key objKey) {
+	var tombVer uint64
+	tomb := false
+	if rt.dur != nil {
+		rt.mu.Lock()
+		if h, ok := rt.hosted[key]; ok && h.durable {
+			tomb = true
+			tombVer = h.durVer + 1
+		}
+		rt.mu.Unlock()
+	}
 	rt.free(key)
+	if tomb {
+		// Tombstone so replay does not resurrect the freed object.
+		_, _ = rt.durAppend(nil, wal.Record{Kind: wal.KindDelete, Key: durObjKey(key.app, key.id), Ver: tombVer}, false)
+	}
 	rt.world.emit(trace.Event{Kind: trace.ObjFreed, Node: rt.Node(), App: key.app, Obj: key.id})
 }
 
@@ -755,7 +853,7 @@ func (s *spanRec) finish(target string, service, leaseWait time.Duration, err er
 	s.span.Retry = s.attempt - s.first
 	s.span.Service = service
 	s.span.LeaseWait = leaseWait
-	if wire := now - s.attempt - service - leaseWait; wire > 0 {
+	if wire := now - s.attempt - service - leaseWait - s.span.Durability; wire > 0 {
 		s.span.Wire = wire
 	}
 	if err != nil {
@@ -815,6 +913,7 @@ func (rt *Runtime) InvokeRefTraced(p sched.Proc, parent uint64, kind trace.SpanK
 			}
 			rt.mu.Unlock()
 			sr.span.Staleness = resp.Staleness
+			sr.span.Durability = resp.Durability
 			rt.world.noteRead(read, resp)
 			sr.finish(target, resp.Service, resp.LeaseWait, nil)
 			return resp.Result, nil

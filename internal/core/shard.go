@@ -104,14 +104,16 @@ type ShardGroup struct {
 	class string
 	spec  ShardSpec
 
-	mu      sync.Mutex
-	ring    *shard.Ring
-	shards  map[string]*Object // shard name -> object handle
-	seq     int                // next shard index (names survive removals)
-	reads   map[string]bool
-	flights map[string]*flight      // in-flight coalescible reads
-	heat    map[string]*heat.Sketch // shard name -> per-key heat sketch
-	adm     *admission              // nil until SetAdmission
+	mu       sync.Mutex
+	ring     *shard.Ring
+	shards   map[string]*Object // shard name -> object handle
+	seq      int                // next shard index (names survive removals)
+	reads    map[string]bool
+	flights  map[string]*flight      // in-flight coalescible reads
+	heat     map[string]*heat.Sketch // shard name -> per-key heat sketch
+	adm      *admission              // nil until SetAdmission
+	durable  bool                    // every shard is WAL-backed (Persist)
+	durReads []string                // durable-read exclusions for new shards
 }
 
 // flight is one in-flight coalescible read: the leader performs the
@@ -222,7 +224,17 @@ func (g *ShardGroup) addShard(p sched.Proc, node string) (string, error) {
 	g.shards[sname] = obj
 	g.ring.Add(sname)
 	g.heat[sname] = heat.New(heat.DefaultCapacity)
+	durable := g.durable
+	durReads := g.durReads
 	g.mu.Unlock()
+	if durable {
+		// A shard grown into a persisted group inherits its durability, so
+		// the whole key space stays crash-consistent.
+		if err := a.persistDurable(p, obj.id, durReads); err != nil {
+			return sname, fmt.Errorf("core: persist grown shard of %s: %w", g.name, err)
+		}
+		a.writeDurManifest(p)
+	}
 	return sname, nil
 }
 
@@ -555,4 +567,112 @@ func (a *App) ShardGroup(name string) (*ShardGroup, bool) {
 	defer a.mu.Unlock()
 	g, ok := a.shardGroups[name]
 	return g, ok
+}
+
+// Store saves the whole group to external storage under key ("" derives
+// one from the group name) and returns the key — §4.7 extended to
+// groups.  Each member's state goes under "<key>/<member>" through the
+// standard object store path (replicated shards persist their policy
+// too), and the manifest under key itself records the ring membership
+// in ring order, so App.LoadShardGroup restores identical
+// consistent-hash key ownership.
+func (g *ShardGroup) Store(p sched.Proc, key string) (string, error) {
+	if key == "" {
+		key = fmt.Sprintf("jsgroup-%s-%s", g.app.id, g.name)
+	}
+	g.mu.Lock()
+	members := g.ring.Members()
+	vnodes := g.ring.Vnodes()
+	objs := make([]*Object, len(members))
+	for i, m := range members {
+		objs[i] = g.shards[m]
+	}
+	g.mu.Unlock()
+	gr := &GroupRecord{
+		Name: g.name, Class: g.class, Vnodes: vnodes,
+		Reads:         g.spec.Reads,
+		KeysMethod:    g.spec.KeysMethod,
+		ExtractMethod: g.spec.ExtractMethod,
+		InstallMethod: g.spec.InstallMethod,
+		Replication:   g.spec.Replication,
+		Members:       members,
+	}
+	for i, m := range members {
+		if objs[i] == nil {
+			return "", fmt.Errorf("core: shard group %s has no object for member %s", g.name, m)
+		}
+		sk, err := objs[i].Store(p, key+"/"+m)
+		if err != nil {
+			return "", fmt.Errorf("core: store shard %s: %w", m, err)
+		}
+		gr.ShardKeys = append(gr.ShardKeys, sk)
+	}
+	if err := g.app.world.storage.Put(key, PersistRecord{Class: g.class, Group: gr}); err != nil {
+		return "", err
+	}
+	g.app.world.emit(trace.Event{Kind: trace.ObjStored, Node: g.app.Home(), App: g.app.id,
+		Detail: fmt.Sprintf("group %s (%d shards) -> %q", g.name, len(members), key)})
+	return key, nil
+}
+
+// LoadShardGroup re-materializes a stored shard group.  The manifest's
+// member names go back on the ring verbatim — shard identity, not
+// placement, owns the keys — so every key hashes to the same member it
+// did in the stored group; each member's state loads through the
+// standard object load path, re-materializing per-shard replica sets
+// along the way.
+func (a *App) LoadShardGroup(p sched.Proc, key string) (*ShardGroup, error) {
+	rec, err := a.world.storage.Get(key)
+	if err != nil {
+		return nil, err
+	}
+	gr := rec.Group
+	if gr == nil {
+		return nil, fmt.Errorf("core: stored object %q is not a shard group", key)
+	}
+	if len(gr.ShardKeys) != len(gr.Members) {
+		return nil, fmt.Errorf("core: stored group %q: %d members but %d shard keys", key, len(gr.Members), len(gr.ShardKeys))
+	}
+	a.mu.Lock()
+	if _, dup := a.shardGroups[gr.Name]; dup {
+		a.mu.Unlock()
+		return nil, fmt.Errorf("core: shard group %q already exists", gr.Name)
+	}
+	a.mu.Unlock()
+	spec := ShardSpec{
+		Shards: len(gr.Members), Vnodes: gr.Vnodes,
+		Replication: gr.Replication, Reads: gr.Reads,
+		KeysMethod: gr.KeysMethod, ExtractMethod: gr.ExtractMethod, InstallMethod: gr.InstallMethod,
+	}.withDefaults()
+	g := &ShardGroup{
+		app: a, name: gr.Name, class: gr.Class, spec: spec,
+		ring:    shard.New(spec.Vnodes),
+		shards:  make(map[string]*Object),
+		reads:   make(map[string]bool, len(spec.Reads)),
+		flights: make(map[string]*flight),
+		heat:    make(map[string]*heat.Sketch),
+	}
+	for _, m := range spec.Reads {
+		g.reads[m] = true
+	}
+	for i, m := range gr.Members {
+		obj, err := a.Load(p, gr.ShardKeys[i], nil, nil)
+		if err != nil {
+			return nil, fmt.Errorf("core: load shard %s: %w", m, err)
+		}
+		g.shards[m] = obj
+		g.ring.Add(m)
+		g.heat[m] = heat.New(heat.DefaultCapacity)
+		// Future Grow calls must not reuse a restored member's name.
+		if idx := shardIndex(gr.Name, m); idx >= g.seq {
+			g.seq = idx + 1
+		}
+	}
+	a.mu.Lock()
+	a.shardGroups[gr.Name] = g
+	a.mu.Unlock()
+	a.world.reg.Gauge(metrics.Label("js_shard_shards", "group", gr.Name)).Set(float64(len(gr.Members)))
+	a.world.emit(trace.Event{Kind: trace.ObjLoaded, Node: a.Home(), App: a.id,
+		Detail: fmt.Sprintf("group %s: %d shards restored from %q", gr.Name, len(gr.Members), key)})
+	return g, nil
 }

@@ -2,7 +2,9 @@ package core
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,6 +12,11 @@ import (
 
 	"jsymphony/internal/replica"
 )
+
+// ErrNotFound marks a Storage.Get miss: nothing is stored under the
+// key.  Both bundled implementations wrap it, so callers distinguish
+// "absent" from real storage failures with errors.Is.
+var ErrNotFound = errors.New("core: stored object not found")
 
 // PersistRecord is one stored object (paper §4.7): its class and
 // serialized state, retrievable under a unique string key.  Replica is
@@ -21,6 +28,29 @@ type PersistRecord struct {
 	Class   string
 	State   []byte
 	Replica *replica.Policy
+	// Group is non-nil when the record is a shard-group manifest written
+	// by ShardGroup.Store: it carries the ring membership and per-member
+	// state keys that App.LoadShardGroup restores.  Like Replica, it is a
+	// gob-compatible extension — older records decode with Group == nil.
+	Group *GroupRecord
+}
+
+// GroupRecord captures a shard group's identity for external storage.
+// Members are the ring member *names* in ring order: consistent-hash
+// key ownership is a pure function of them, so restoring a group under
+// the same member names reproduces ownership exactly, no matter where
+// the restored shards are placed.
+type GroupRecord struct {
+	Name          string
+	Class         string
+	Vnodes        int
+	Reads         []string
+	KeysMethod    string
+	ExtractMethod string
+	InstallMethod string
+	Replication   *replica.Policy
+	Members       []string // ring member names, ring (sorted) order
+	ShardKeys     []string // parallel: storage key of each member's state
 }
 
 // Storage is the external storage persistent objects go to.
@@ -60,7 +90,7 @@ func (m *MemStorage) Get(key string) (PersistRecord, error) {
 	defer m.mu.Unlock()
 	rec, ok := m.recs[key]
 	if !ok {
-		return PersistRecord{}, fmt.Errorf("core: no stored object %q", key)
+		return PersistRecord{}, fmt.Errorf("core: no stored object %q: %w", key, ErrNotFound)
 	}
 	return rec, nil
 }
@@ -123,6 +153,9 @@ func (f *FileStorage) Get(key string) (PersistRecord, error) {
 	defer f.mu.Unlock()
 	file, err := os.Open(f.path(key))
 	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return PersistRecord{}, fmt.Errorf("core: no stored object %q: %w", key, ErrNotFound)
+		}
 		return PersistRecord{}, fmt.Errorf("core: no stored object %q: %w", key, err)
 	}
 	defer file.Close()

@@ -81,13 +81,17 @@ type (
 	// LeaseWait is the time the serving replica spent renewing an
 	// expired strong-mode lease before it could answer, so the caller's
 	// span can attribute that stall separately from wire time.
+	// Durability is the time a durable write stalled for its group
+	// commit before the ack, so the caller's span can attribute the
+	// fsync wait separately from wire time.
 	invokeResp struct {
-		Result    any
-		Service   time.Duration
-		Staleness time.Duration
-		LeaseWait time.Duration
-		Replica   bool
-		RSet      replica.Set
+		Result     any
+		Service    time.Duration
+		Staleness  time.Duration
+		LeaseWait  time.Duration
+		Durability time.Duration
+		Replica    bool
+		RSet       replica.Set
 	}
 	// migrateOutReq asks the current host pa1 to move the object to
 	// Dest (= pa2); sent by the origin AppOA (Fig. 3 step 1).
@@ -97,9 +101,15 @@ type (
 		Dest string
 	}
 	// migrateInReq carries the serialized object to pa2 (Fig. 3 step 2).
+	// A durable object ships its WAL identity along: the destination
+	// starts logging it at DurVer, one past the tombstone the source
+	// writes, so replay ownership hands over cleanly.
 	migrateInReq struct {
-		Ref   Ref
-		State []byte
+		Ref      Ref
+		State    []byte
+		Durable  bool
+		DurReads []string
+		DurVer   uint64
 	}
 	// freeReq releases a hosted object.
 	freeReq struct {
@@ -175,6 +185,9 @@ type (
 	// can never roll a replica backwards.  Force overrides the version
 	// check for re-seeds after migration or promotion, where the version
 	// counter restarts.
+	// Durable marks updates of WAL-backed objects: the receiving
+	// replica logs the state (at the shared DurVer) before answering a
+	// synchronous propagation, so MinSync counts *logged* copies.
 	replicaUpdateReq struct {
 		Ref     Ref
 		State   []byte
@@ -184,6 +197,8 @@ type (
 		Mode    replica.Mode
 		Primary string
 		Force   bool
+		Durable bool
+		DurVer  uint64
 	}
 	// replicaDropReq discards a replica instance.
 	replicaDropReq struct {

@@ -21,6 +21,7 @@ import (
 	"jsymphony/internal/slo"
 	"jsymphony/internal/trace"
 	"jsymphony/internal/vclock"
+	"jsymphony/internal/wal"
 )
 
 // Options tune a World.  The zero value gives sensible defaults.
@@ -31,6 +32,10 @@ type Options struct {
 	Cost       rmi.CostModel       // simulated RMI CPU cost (default rmi.DefaultCost)
 	MemLatency time.Duration       // in-memory transport latency (default 200µs)
 	Default    *params.Constraints // JS-Shell default constraints for automatic decisions
+	// Durability enables the per-node write-ahead log (internal/wal):
+	// objects marked durable survive node crashes and whole-cluster
+	// restarts via log replay.  nil keeps durability off.
+	Durability *DurabilityOptions
 }
 
 func (o Options) withDefaults() Options {
@@ -70,8 +75,9 @@ type World struct {
 	tracer *trace.Log
 	spans  *trace.SpanLog
 	reg    *metrics.Registry
-	router *replica.Router // nearest-replica read routing
-	slo    *slo.Engine     // per-class latency objectives
+	router  *replica.Router // nearest-replica read routing
+	slo     *slo.Engine     // per-class latency objectives
+	durOpts *DurabilityOptions
 
 	// queueBound caps each hosted object's in-flight invocations
 	// (-1 = unbounded).  Atomic: the invoke hot path reads it on every
@@ -204,6 +210,10 @@ func newWorld(s sched.Sched, opt Options) *World {
 	}
 	w.slo = slo.NewEngine(s.Now, slo.Options{OnBreach: w.onSLOBreach})
 	w.queueBound.Store(-1)
+	if opt.Durability != nil {
+		d := opt.Durability.withDefaults()
+		w.durOpts = &d
+	}
 	return w
 }
 
@@ -307,6 +317,12 @@ func (w *World) addNode(net rmi.Network, name string, mach *simnet.Machine, samp
 	}
 	agent := nas.NewAgent(st, sampler, w.nasCfg, w.dirNode)
 	rt := newRuntime(w, st, agent, mach)
+	if w.durOpts != nil && mach != nil {
+		// One stable medium per node: it outlives crashes (and even this
+		// World — whole-cluster restart replays from the same Stable).
+		m := w.durOpts.Stable.Node(name)
+		rt.dur = &durState{log: wal.NewLog(m), media: m}
+	}
 	if first {
 		// The directory node also hosts the static-object manager.
 		installStaticManager(rt)
@@ -631,6 +647,7 @@ func (t chaosTarget) Crash(node string) error {
 	}
 	rt.mach.Kill()
 	rt.Crash()
+	rt.durCrash()
 	return nil
 }
 
@@ -642,6 +659,7 @@ func (t chaosTarget) Restart(node string) error {
 		return err
 	}
 	rt.mach.Revive()
+	rt.durRepair()
 	rt.agent.Restart()
 	return nil
 }
@@ -751,8 +769,9 @@ func (w *World) onLiveness(e nas.Event) {
 		for _, a := range apps {
 			// Replicated objects are repaired (promotion, set healing) even
 			// when checkpoint recovery is off: availability through replicas
-			// is exactly what replication buys.
-			if a.RecoveryEnabled() || a.hasReplicas() {
+			// is exactly what replication buys.  Durable objects likewise:
+			// their WAL replay is the recovery path.
+			if a.RecoveryEnabled() || a.hasReplicas() || a.hasDurable() {
 				app, node := a, e.Node
 				w.s.Spawn("oas.recover:"+app.id, func(p sched.Proc) {
 					app.RecoverFrom(p, node)
@@ -798,6 +817,12 @@ func (w *World) Start() {
 	}
 	for _, rt := range rts {
 		rt.agent.Start()
+	}
+	for _, rt := range rts {
+		if rt.dur != nil {
+			r := rt
+			w.s.Spawn("oas.wal:"+r.Node(), r.durLoop)
+		}
 	}
 }
 

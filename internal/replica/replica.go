@@ -87,6 +87,13 @@ type Policy struct {
 	// makes every copy synchronous, matching Strong's durability while
 	// keeping eventual-mode lease-free reads.  Ignored under Strong,
 	// where all propagation is already synchronous.
+	//
+	// On a durability-enabled installation (core DurabilityOptions) a
+	// synchronous copy is also a *logged* copy: each of the MinSync
+	// replicas appends the write to its node's write-ahead log before
+	// the ack, so MinSync = k means k logged copies and an acked write
+	// survives even the simultaneous crash of every holder — a
+	// whole-cluster restart replays it from the logs.
 	MinSync int
 }
 

@@ -142,6 +142,8 @@ func (s *Shell) Exec(p sched.Proc, line string) (string, error) {
 		return cp.Format(), nil
 	case "storage":
 		return s.storage()
+	case "wal":
+		return s.wal(), nil
 	case "automigrate":
 		return s.automigrate(args)
 	case "constraints":
@@ -182,6 +184,7 @@ const helpText = `JS-Shell commands:
   hotkeys [k]                   each shard's k hottest keys (default 10)
   critpath <spanid>             a request's critical-path latency breakdown
   storage                       list persistent object keys
+  wal                           per-node write-ahead-log media statistics
   replicas                      replica sets: primary, members, mode, lease
   shards                        shard groups: ring members, hosting, replicas
   admission                     shard-router admission: shed level per group
@@ -485,6 +488,25 @@ func (s *Shell) storage() (string, error) {
 		return "(no persistent objects)\n", nil
 	}
 	return strings.Join(keys, "\n") + "\n", nil
+}
+
+// wal renders every durability-enabled node's write-ahead-log media
+// statistics: append/flush/checkpoint counters, crash and replay
+// counts, torn bytes, and the current log/base footprint.
+func (s *Shell) wal() string {
+	stats := s.w.WALStatus()
+	if len(stats) == 0 {
+		return "(durability not enabled)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %8s %8s %10s %6s %8s %7s %7s %7s %8s %8s %6s\n",
+		"NODE", "APPENDS", "FLUSHES", "FLUSH-B", "CKPTS", "CKPT-B", "CRASHES", "REPLAYS", "TORN-B", "LOG-B", "SYNC-B", "BASE")
+	for _, st := range stats {
+		fmt.Fprintf(&b, "%-12s %8d %8d %10d %6d %8d %7d %7d %7d %8d %8d %6d\n",
+			st.Node, st.Appends, st.Flushes, st.FlushBytes, st.Checkpoints, st.CheckpointBytes,
+			st.Crashes, st.Replays, st.TornBytes, st.LogBytes, st.SyncedBytes, st.BaseKeys)
+	}
+	return b.String()
 }
 
 func (s *Shell) automigrate(args []string) (string, error) {

@@ -13,6 +13,7 @@ import (
 	"jsymphony/internal/simnet"
 	"jsymphony/internal/slo"
 	"jsymphony/internal/trace"
+	"jsymphony/internal/wal"
 )
 
 func testWorld() *core.World {
@@ -138,6 +139,11 @@ func TestShellCommands(t *testing.T) {
 		out, err = sh.Exec(p, "storage")
 		if err != nil || !strings.Contains(out, "shell-key") {
 			t.Errorf("storage: %v\n%s", err, out)
+		}
+
+		// This world has no durability layer: wal degrades gracefully.
+		if out, err := sh.Exec(p, "wal"); err != nil || !strings.Contains(out, "durability not enabled") {
+			t.Errorf("wal without durability: %v %s", err, out)
 		}
 
 		// Auto-migration toggles.
@@ -420,6 +426,76 @@ func TestShellObservabilityCommands(t *testing.T) {
 		if out, _ := sh.Exec(p, "help"); !strings.Contains(out, "slo") ||
 			!strings.Contains(out, "hotkeys") || !strings.Contains(out, "critpath") {
 			t.Error("help missing observability commands")
+		}
+	})
+}
+
+// TestShellWALCommand: on a durability-enabled world the wal command
+// renders per-node media statistics, and the js_wal_* instruments are
+// reachable through the metrics/hist commands.
+func TestShellWALCommand(t *testing.T) {
+	reg := codebase.NewRegistry()
+	reg.Register("shell.Thing", 512, func() any { return &thing{} })
+	w := core.NewSimWorld(simnet.PaperCluster(), simnet.Idle, 1, core.Options{
+		NAS: nas.Config{
+			MonitorPeriod: 150 * time.Millisecond,
+			FailTimeout:   600 * time.Millisecond,
+			CallTimeout:   400 * time.Millisecond,
+		},
+		Registry:   reg,
+		Durability: &core.DurabilityOptions{Stable: wal.NewStable(1)},
+	})
+	sh := New(w)
+	w.RunMain(func(p sched.Proc) {
+		p.Sleep(500 * time.Millisecond)
+		a, err := w.Register(w.Nodes()[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer a.Unregister(p)
+		cb := a.NewCodebase()
+		cb.Add("shell.Thing")
+		cb.LoadNodes(p, w.Nodes()...)
+		obj, err := a.NewObject(p, "shell.Thing", nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := obj.Persist(p, "Get"); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			if _, err := obj.SInvoke(p, "Poke"); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		out, err := sh.Exec(p, "wal")
+		if err != nil || !strings.Contains(out, "NODE") || !strings.Contains(out, "APPENDS") {
+			t.Fatalf("wal: %v\n%s", err, out)
+		}
+		home, err := obj.NodeName()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(out, home) {
+			t.Errorf("wal listing missing the durable object's node %s:\n%s", home, out)
+		}
+		if strings.Contains(out, "durability not enabled") {
+			t.Errorf("wal claims durability off on a durable world:\n%s", out)
+		}
+
+		// The instruments behind the listing are operator-visible too.
+		out, err = sh.Exec(p, "metrics js_wal")
+		if err != nil || !strings.Contains(out, "js_wal_appends_total") ||
+			!strings.Contains(out, "js_wal_flushes_total") {
+			t.Errorf("metrics js_wal: %v\n%s", err, out)
+		}
+		out, err = sh.Exec(p, "hist js_wal_batch_records")
+		if err != nil || strings.Contains(out, "count=0") {
+			t.Errorf("hist js_wal_batch_records: %v\n%s", err, out)
+		}
+		if out, _ := sh.Exec(p, "help"); !strings.Contains(out, "wal") {
+			t.Error("help missing wal command")
 		}
 	})
 }

@@ -239,6 +239,7 @@ type Machine struct {
 	mu        sync.Mutex
 	active    int         // computations currently sharing the CPU
 	nicFree   vclock.Time // when the transmit NIC next becomes free
+	diskFree  vclock.Time // when the disk arm next becomes free
 	alive     bool
 	extra     float64        // injected owner load (failure/contention studies)
 	utilGauge *metrics.Gauge // set by Fabric.Instrument; nil otherwise
@@ -358,6 +359,49 @@ func (m *Machine) Send(dst *Machine, bytes int, v any) {
 		}
 	}
 	dst.inbox.Put(v, delay)
+}
+
+// diskAccess blocks actor a for one disk operation of the given size:
+// a seek plus the sequential transfer of the bytes, serialized on the
+// single disk arm exactly the way Send serializes on the transmit NIC.
+// It returns the total virtual time the caller waited (queueing
+// included), which is what the durability layer attributes to the span
+// Durability segment.  A dead machine performs no I/O and returns 0.
+func (m *Machine) diskAccess(a *vclock.Actor, bytes int) time.Duration {
+	if bytes < 0 {
+		bytes = 0
+	}
+	xfer := time.Duration(float64(bytes) / (m.spec.diskMBps() * 1e6) * float64(time.Second))
+	op := m.spec.diskSeek() + xfer
+
+	now := m.fab.clock.Now()
+	m.mu.Lock()
+	if !m.alive {
+		m.mu.Unlock()
+		return 0
+	}
+	start := m.diskFree
+	if now > start {
+		start = now
+	}
+	m.diskFree = start + vclock.Time(op)
+	m.mu.Unlock()
+
+	wait := time.Duration(start-now) + op
+	a.Sleep(wait)
+	return wait
+}
+
+// DiskWrite charges actor a the virtual cost of writing (and syncing)
+// bytes to the local disk.  See diskAccess.
+func (m *Machine) DiskWrite(a *vclock.Actor, bytes int) time.Duration {
+	return m.diskAccess(a, bytes)
+}
+
+// DiskRead charges actor a the virtual cost of reading bytes from the
+// local disk.  See diskAccess.
+func (m *Machine) DiskRead(a *vclock.Actor, bytes int) time.Duration {
+	return m.diskAccess(a, bytes)
 }
 
 // computeQuantum bounds how long a computation runs before re-observing

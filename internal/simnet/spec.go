@@ -38,6 +38,34 @@ type MachineSpec struct {
 	LinkMbps float64 // NIC nominal bandwidth
 	OS       string  // operating system string
 	Site     string  // geographic site; machines at different sites talk over a WAN ("" = default site)
+
+	// Local disk, used by the durability subsystem (internal/wal).  Every
+	// fsync pays one seek plus the sequential-transfer time of the bytes
+	// written.  Zero values take the era-appropriate defaults below.
+	DiskSeek time.Duration // average seek + rotational latency
+	DiskMBps float64       // sequential transfer rate, MB/s
+}
+
+// Default disk characteristics: a late-90s 7200 rpm SCSI drive.
+const (
+	DefaultDiskSeek = 5 * time.Millisecond
+	DefaultDiskMBps = 20.0
+)
+
+// diskSeek returns the spec's seek time, defaulted.
+func (s MachineSpec) diskSeek() time.Duration {
+	if s.DiskSeek > 0 {
+		return s.DiskSeek
+	}
+	return DefaultDiskSeek
+}
+
+// diskMBps returns the spec's transfer rate, defaulted.
+func (s MachineSpec) diskMBps() float64 {
+	if s.DiskMBps > 0 {
+		return s.DiskMBps
+	}
+	return DefaultDiskMBps
 }
 
 // Workstation model templates.  MFlops is the *Java-effective* sustained

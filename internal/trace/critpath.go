@@ -20,16 +20,17 @@ import (
 
 // Segment kinds the analyzer emits.
 const (
-	SegQueue     = "queue"
-	SegRetry     = "retry"
-	SegLeaseWait = "lease-wait"
-	SegWire      = "wire"
-	SegService   = "service"
+	SegQueue      = "queue"
+	SegRetry      = "retry"
+	SegLeaseWait  = "lease-wait"
+	SegDurability = "durability"
+	SegWire       = "wire"
+	SegService    = "service"
 )
 
 // PathSegment is one attributed slice of a request's latency.
 type PathSegment struct {
-	Kind  string        // SegQueue, SegRetry, SegLeaseWait, SegWire, SegService
+	Kind  string        // SegQueue, SegRetry, SegLeaseWait, SegDurability, SegWire, SegService
 	Span  uint64        // span the time was spent in
 	Hop   string        // "origin->target" of that span
 	Label string        // "app/obj.Method" of that span
@@ -118,6 +119,7 @@ func attribute(ix *spanIndex, s *Span, out *[]PathSegment) {
 	emit(SegQueue, s.Queue)
 	emit(SegRetry, s.Retry)
 	emit(SegLeaseWait, s.LeaseWait)
+	emit(SegDurability, s.Durability)
 	emit(SegWire, s.Wire)
 
 	kids := ix.children[s.ID]
@@ -196,7 +198,7 @@ func AggregateCritPath(spans []Span, keep func(*Span) bool) Breakdown {
 		bd.Coverage = 1.0
 	}
 	var best time.Duration
-	for _, kind := range []string{SegQueue, SegRetry, SegLeaseWait, SegWire, SegService} {
+	for _, kind := range []string{SegQueue, SegRetry, SegLeaseWait, SegDurability, SegWire, SegService} {
 		if d := bd.ByKind[kind]; d > best {
 			best, bd.Dominant = d, kind
 		}

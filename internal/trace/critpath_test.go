@@ -158,3 +158,29 @@ func TestAggregateCritPath(t *testing.T) {
 		t.Fatalf("filtered = %+v", only)
 	}
 }
+
+// TestCritPathDurability checks the durability segment sums into the
+// total and is attributed like the other five.
+func TestCritPathDurability(t *testing.T) {
+	spans := []Span{{
+		ID: 1, App: "a", Obj: 3, Method: "Put", Origin: "n1", Target: "n2",
+		Start: 0, Queue: 1 * ms, Service: 2 * ms, Durability: 12 * ms, Wire: 3 * ms,
+	}}
+	if got := spans[0].Total(); got != 18*ms {
+		t.Fatalf("Total = %v, want 18ms", got)
+	}
+	cp, err := AnalyzeCritPath(spans, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Attributed != 18*ms || cp.Coverage != 1.0 {
+		t.Fatalf("attributed=%v coverage=%v", cp.Attributed, cp.Coverage)
+	}
+	if cp.Dominant.Kind != SegDurability || cp.Dominant.Dur != 12*ms {
+		t.Fatalf("dominant = %+v, want durability 12ms", cp.Dominant)
+	}
+	bd := AggregateCritPath(spans, nil)
+	if bd.ByKind[SegDurability] != 12*ms || bd.Dominant != SegDurability {
+		t.Fatalf("aggregate = %+v", bd)
+	}
+}

@@ -36,10 +36,12 @@ const (
 //	Service   — time the method body ran at the target
 //	LeaseWait — time the serving replica spent renewing an expired
 //	            strong-mode lease before it could serve the read
+//	Durability — time a durable write stalled for its group commit (the
+//	            simulated fsync) before the ack could be sent
 //	Wire      — remaining round-trip time: serialization, the simulated
 //	            fabric, and dispatch queuing at the target station
 //
-// The five segments sum to the span's end-to-end latency by
+// The six segments sum to the span's end-to-end latency by
 // construction, so the analyzer can attribute all of it to named
 // segments.
 //
@@ -65,12 +67,13 @@ type Span struct {
 	// Class is the request class for SLO accounting ("read", "write",
 	// ...); "" for unclassified internal traffic.
 	Class     string
-	Start     time.Duration // scheduler time the operation began
-	Queue     time.Duration
-	Retry     time.Duration
-	Service   time.Duration
-	LeaseWait time.Duration
-	Wire      time.Duration
+	Start      time.Duration // scheduler time the operation began
+	Queue      time.Duration
+	Retry      time.Duration
+	Service    time.Duration
+	LeaseWait  time.Duration
+	Durability time.Duration
+	Wire       time.Duration
 	// Staleness bounds how old the state that served a replicated read
 	// was (eventual-mode replicas report time since the state left the
 	// primary; 0 everywhere else, including strong-lease reads).
@@ -83,7 +86,7 @@ type Span struct {
 
 // Total is the span's end-to-end latency.
 func (s Span) Total() time.Duration {
-	return s.Queue + s.Retry + s.Service + s.LeaseWait + s.Wire
+	return s.Queue + s.Retry + s.Service + s.LeaseWait + s.Durability + s.Wire
 }
 
 // String renders one span as the shell prints it.
@@ -99,6 +102,9 @@ func (s Span) String() string {
 	}
 	if s.LeaseWait > 0 {
 		fmt.Fprintf(&b, " lease=%s", s.LeaseWait.Round(time.Microsecond))
+	}
+	if s.Durability > 0 {
+		fmt.Fprintf(&b, " durability=%s", s.Durability.Round(time.Microsecond))
 	}
 	if s.Staleness > 0 {
 		fmt.Fprintf(&b, " stale=%s", s.Staleness.Round(time.Microsecond))

@@ -51,6 +51,16 @@ func (js *JS) Compute(flops float64) { js.app.Runtime().Compute(js.p, flops) }
 // period <= 0 disables it.
 func (js *JS) EnableRecovery(period time.Duration) { js.app.EnableRecovery(period) }
 
+// RecoverDurable rebuilds every durable object recorded in the
+// write-ahead logs after a whole-cluster restart: an application on a
+// fresh environment constructed over the same WALStable replays each
+// node's log and re-materializes plain objects, replica sets, and shard
+// groups with identical ring membership.  Objects whose state never
+// reached stable storage are reported as lost.
+func (js *JS) RecoverDurable() ([]DurableRecovery, error) {
+	return js.app.RecoverDurable(js.p)
+}
+
 // Spawn runs fn concurrently within the session's world, giving it its
 // own JS bound to the new proc.  In simulations this is the only correct
 // way to add concurrency (plain goroutines would escape virtual time).
@@ -269,6 +279,13 @@ func (o *Object) Free() error { return o.o.Free(o.js.p) }
 // ("obj.store([key])", §4.7).
 func (o *Object) Store(key string) (string, error) { return o.o.Store(o.js.p, key) }
 
+// Persist marks the object durable on an environment with a write-ahead
+// log (EnvOptions.Durability): every state-changing invocation reaches
+// stable storage before its ack, so the object survives node crashes
+// and whole-cluster restarts with all acknowledged writes intact.
+// reads lists methods durability treats as read-only.
+func (o *Object) Persist(reads ...string) error { return o.o.Persist(o.js.p, reads...) }
+
 // Ref returns the first-order handle for passing to other objects.
 func (o *Object) Ref() (Ref, error) { return o.o.Ref() }
 
@@ -441,6 +458,12 @@ func (g *ShardGroup) Grow(node string) (string, error) {
 func (g *ShardGroup) Evacuate(node string) error {
 	return g.g.Evacuate(g.js.p, node)
 }
+
+// Persist marks every shard of the group durable (ring order); the
+// group's consistent-hash membership is recorded in the WAL manifest,
+// so a cluster restart reproduces key ownership exactly.  reads
+// defaults to the spec's declared read methods.
+func (g *ShardGroup) Persist(reads ...string) error { return g.g.Persist(g.js.p, reads...) }
 
 // Heat reports each shard's k hottest keys (space-saving counts;
 // deterministic order: shards in ring order, keys by count then name).
