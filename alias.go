@@ -27,6 +27,7 @@ import (
 	"jsymphony/internal/heat"
 	"jsymphony/internal/nas"
 	"jsymphony/internal/params"
+	"jsymphony/internal/place"
 	"jsymphony/internal/replica"
 	"jsymphony/internal/rmi"
 	"jsymphony/internal/simnet"
@@ -256,6 +257,28 @@ func AnalyzeCritPath(spans []Span, root uint64) (CritPath, error) {
 // (nil keeps all) and sums segment time by kind.
 func AggregateCritPath(spans []Span, keep func(*Span) bool) CritPathBreakdown {
 	return trace.AggregateCritPath(spans, keep)
+}
+
+// Static placement oracle (DESIGN.md §14): co-location hints computed
+// by cmd/jsplace from the workload's source-level affinity graph.
+type (
+	// PlacementHints is one workload's jsplace output: co-location
+	// groups of tagged creation sites, cut for a node budget.
+	PlacementHints = place.Hints
+	// PlacementGroup is one co-location set within the hints.
+	PlacementGroup = place.Group
+	// PlacementMember is one tagged creation-site instance of a group.
+	PlacementMember = place.Member
+)
+
+// PlacementMainSite is the synthetic site naming the application driver
+// in the affinity graph; its group anchors to the home node.
+const PlacementMainSite = place.MainSite
+
+// ParsePlacementHints decodes a committed jsplace.json (typically
+// embedded in the workload package with go:embed).
+func ParsePlacementHints(data []byte) (*PlacementHints, error) {
+	return place.Decode(data)
 }
 
 // Fault injection (chaos) re-exports: deterministic, seeded faults on

@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "fig5", "experiment to run (fig5, mandel, automigrate, recovery, recover, replica, shard, slo, serve)")
+	experiment := flag.String("experiment", "fig5", "experiment to run (fig5, mandel, automigrate, recovery, recover, replica, shard, slo, serve, place)")
 	sizes := flag.String("sizes", "200,400,600,800", "comma-separated problem sizes")
 	maxNodes := flag.Int("maxnodes", 13, "sweep node counts 1..maxnodes")
 	seed := flag.Int64("seed", 1, "simulation seed")
@@ -52,6 +52,8 @@ func main() {
 		runSlo(*seed, *out, *flightOut)
 	case "serve":
 		runServe(*seed, *out)
+	case "place":
+		runPlace(*seed, *out)
 	default:
 		fmt.Fprintf(os.Stderr, "jsbench: unknown experiment %q\n", *experiment)
 		os.Exit(2)
@@ -233,6 +235,38 @@ func runServe(seed int64, out string) {
 	fmt.Printf("result written to %s\n", out)
 	fmt.Println()
 	lines, ok := experiments.ServeReportLines(res)
+	fmt.Println("Subsystem claims:")
+	for _, l := range lines {
+		fmt.Println("  " + l)
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func runPlace(seed int64, out string) {
+	fmt.Println("Place — static placement oracle (cmd/jsplace + internal/analysis/affinity)")
+	fmt.Println("(each placed workload twin-run: load-only vs committed co-location hints)")
+	fmt.Println()
+	cfg := experiments.PlaceConfig{Seed: seed}
+	res := experiments.Place(cfg)
+	experiments.WritePlace(os.Stdout, res)
+	if out == "" {
+		out = "BENCH_place.json"
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jsbench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := experiments.WritePlaceJSON(f, res); err != nil {
+		fmt.Fprintf(os.Stderr, "jsbench: %v\n", err)
+		os.Exit(1)
+	}
+	f.Close()
+	fmt.Printf("result written to %s\n", out)
+	fmt.Println()
+	lines, ok := experiments.PlaceReportLines(res)
 	fmt.Println("Subsystem claims:")
 	for _, l := range lines {
 		fmt.Println("  " + l)

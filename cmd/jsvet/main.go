@@ -24,8 +24,8 @@ import (
 	"jsymphony/internal/analysis"
 	"jsymphony/internal/analysis/errcmp"
 	"jsymphony/internal/analysis/globalrand"
-	"jsymphony/internal/analysis/locksend"
 	"jsymphony/internal/analysis/loader"
+	"jsymphony/internal/analysis/locksend"
 	"jsymphony/internal/analysis/mapiter"
 	"jsymphony/internal/analysis/walltime"
 )
@@ -64,9 +64,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "jsvet: -only names unknown analyzer (have %s)\n", strings.Join(names, ", "))
 		os.Exit(2)
 	}
-	// The directive checker always runs: a stale or malformed waiver
-	// must fail the build even when its analyzer is deselected.
-	selected = append(selected, analysis.DirectiveChecker(names))
+	// The directive checker always runs: a malformed waiver must fail
+	// the build even when its analyzer is deselected.  Staleness is
+	// judged only against the analyzers that ran, so -only does not
+	// condemn the deselected analyzers' waivers.
+	var ranNames []string
+	for _, a := range selected {
+		ranNames = append(ranNames, a.Name)
+	}
+	selected = append(selected, analysis.DirectiveChecker(names, ranNames))
 
 	patterns := flag.Args()
 	if len(patterns) == 0 {

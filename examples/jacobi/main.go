@@ -3,248 +3,47 @@
 // object handles (paper §5.2: "object handles (first-order objects) can
 // be passed to methods of other objects").
 //
-// The example demonstrates locality-oriented decomposition: each strip
-// lives on its own cluster node, neighbors talk directly to each other
-// (not through the master), and the master only coordinates iteration
-// phases and convergence.  The distributed solution is verified against
-// a sequential reference.
+// The solver itself lives in workloads/jacobi, where the static
+// placement oracle (cmd/jsplace) can analyze it; this example runs it
+// twice on the same simulated cluster — load-only placement, then with
+// the workload's committed co-location hints installed — and verifies
+// both runs against the sequential reference.
 //
 //	go run ./examples/jacobi
 package main
 
 import (
 	"fmt"
-	"math"
-	"sync"
 
 	"jsymphony"
-)
-
-// Strip owns a contiguous block of rod cells plus one ghost cell per
-// side, refreshed from the neighbors each iteration.
-type Strip struct {
-	Cells   []float64
-	Ghost   [2]float64    // left, right ghost values
-	Left    jsymphony.Ref // zero Ref = physical boundary
-	Right   jsymphony.Ref
-	LeftBC  float64 // boundary condition at the rod ends
-	RightBC float64
-	mu      sync.Mutex
-}
-
-// Init sets the strip size, interior value, and physical boundaries.
-func (s *Strip) Init(cells int, initial, leftBC, rightBC float64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.Cells = make([]float64, cells)
-	for i := range s.Cells {
-		s.Cells[i] = initial
-	}
-	s.LeftBC, s.RightBC = leftBC, rightBC
-	s.Ghost = [2]float64{leftBC, rightBC}
-}
-
-// SetNeighbors wires the strip to its neighbors' handles.
-func (s *Strip) SetNeighbors(left, right jsymphony.Ref) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.Left, s.Right = left, right
-}
-
-// LeftEdge returns the strip's first cell (for the left neighbor).
-func (s *Strip) LeftEdge() float64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.Cells[0]
-}
-
-// RightEdge returns the strip's last cell (for the right neighbor).
-func (s *Strip) RightEdge() float64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.Cells[len(s.Cells)-1]
-}
-
-// Exchange refreshes the ghost cells by invoking the neighbors directly
-// (object-to-object RMI through refs).
-func (s *Strip) Exchange(ctx *jsymphony.Ctx) error {
-	s.mu.Lock()
-	left, right := s.Left, s.Right
-	s.mu.Unlock()
-	g := [2]float64{s.LeftBC, s.RightBC}
-	if !left.IsZero() {
-		v, err := ctx.Invoke(left, "RightEdge", nil)
-		if err != nil {
-			return err
-		}
-		g[0] = v.(float64)
-	}
-	if !right.IsZero() {
-		v, err := ctx.Invoke(right, "LeftEdge", nil)
-		if err != nil {
-			return err
-		}
-		g[1] = v.(float64)
-	}
-	s.mu.Lock()
-	s.Ghost = g
-	s.mu.Unlock()
-	return nil
-}
-
-// Step performs one Jacobi update from the ghosted previous state and
-// returns the largest cell change.
-func (s *Strip) Step(ctx *jsymphony.Ctx) float64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	old := s.Cells
-	next := make([]float64, len(old))
-	maxDelta := 0.0
-	for i := range old {
-		l := s.Ghost[0]
-		if i > 0 {
-			l = old[i-1]
-		}
-		r := s.Ghost[1]
-		if i < len(old)-1 {
-			r = old[i+1]
-		}
-		next[i] = 0.5 * (l + r)
-		if d := math.Abs(next[i] - old[i]); d > maxDelta {
-			maxDelta = d
-		}
-	}
-	// Model the stencil cost so the simulated cluster is exercised.
-	ctx.Compute(float64(len(old)) * 4)
-	s.Cells = next
-	return maxDelta
-}
-
-// Values returns the strip's cells.
-func (s *Strip) Values() []float64 { return append([]float64(nil), s.Cells...) }
-
-func init() {
-	jsymphony.RegisterClass("jacobi.Strip", 4096, func() any { return &Strip{} })
-}
-
-const (
-	strips    = 4
-	perStrip  = 8
-	leftTemp  = 100.0
-	rightTemp = 0.0
-	maxIters  = 3000
-	epsilon   = 1e-3
+	"jsymphony/workloads/jacobi"
 )
 
 func main() {
-	env := jsymphony.NewSimEnv(jsymphony.PaperCluster(), jsymphony.IdleProfile, 1, jsymphony.EnvOptions{})
-	env.RunMain("", func(js *jsymphony.JS) {
-		cluster, err := js.NewCluster(strips, nil)
-		check(err)
-		cb := js.NewCodebase()
-		check(cb.Add("jacobi.Strip"))
-		check(cb.Load(cluster))
-
-		// One strip per node; neighbors wired by refs.
-		objs := make([]*jsymphony.Object, strips)
-		refs := make([]jsymphony.Ref, strips)
-		for i := range objs {
-			node, err := cluster.Node(i)
-			check(err)
-			objs[i], err = js.NewObject("jacobi.Strip", node, nil)
-			check(err)
-			_, err = objs[i].SInvoke("Init", perStrip, 0.0, leftTemp, rightTemp)
-			check(err)
-			refs[i], err = objs[i].Ref()
-			check(err)
-			name, _ := objs[i].NodeName()
-			fmt.Printf("strip %d on %s\n", i, name)
-		}
-		for i := range objs {
-			var l, r jsymphony.Ref
-			if i > 0 {
-				l = refs[i-1]
-			}
-			if i < strips-1 {
-				r = refs[i+1]
-			}
-			_, err := objs[i].SInvoke("SetNeighbors", l, r)
-			check(err)
-		}
-
-		// Iterate: exchange ghosts, then step, all strips in parallel.
-		steps := 0
-		for iters := 0; iters < maxIters; iters++ {
-			handles := make([]*jsymphony.ResultHandle, strips)
-			for i, o := range objs {
-				h, err := o.AInvoke("Exchange")
+	cfg := jacobi.Config{Strips: 4, PerStrip: 8, Iters: 60, LeftBC: 100, RightBC: 0}
+	for _, hinted := range []bool{false, true} {
+		env := jsymphony.NewSimEnv(jsymphony.PaperCluster(), jsymphony.IdleProfile, 1, jsymphony.EnvOptions{})
+		env.RunMain("", func(js *jsymphony.JS) {
+			if hinted {
+				h, err := jacobi.PlacementHints()
 				check(err)
-				handles[i] = h
+				js.InstallPlacementHints(h)
 			}
-			for _, h := range handles {
-				_, err := h.Result()
-				check(err)
-			}
-			maxDelta := 0.0
-			for i, o := range objs {
-				h, err := o.AInvoke("Step")
-				check(err)
-				handles[i] = h
-			}
-			for _, h := range handles {
-				v, err := h.Result()
-				check(err)
-				if d := v.(float64); d > maxDelta {
-					maxDelta = d
-				}
-			}
-			steps++
-			if maxDelta < epsilon {
-				break
-			}
-		}
-		fmt.Printf("converged after %d iterations (%.3fs virtual)\n", steps, js.Now().Seconds())
-
-		// Gather and verify against a sequential reference.
-		var got []float64
-		for _, o := range objs {
-			v, err := o.SInvoke("Values")
+			st, err := jacobi.Run(js, cfg)
 			check(err)
-			got = append(got, v.([]float64)...)
-		}
-		want := reference(strips*perStrip, steps)
-		worst := 0.0
-		for i := range got {
-			if d := math.Abs(got[i] - want[i]); d > worst {
-				worst = d
+			worst, err := jacobi.Verify(cfg, st.Cells)
+			check(err)
+			mode := "load-only"
+			if hinted {
+				mode = "hinted"
 			}
-		}
-		fmt.Printf("max deviation from sequential reference: %.2e\n", worst)
-		if worst > 1e-9 {
-			panic("distributed Jacobi diverged from the reference")
-		}
-	})
-}
-
-// reference runs the same Jacobi iteration sequentially.
-func reference(n, steps int) []float64 {
-	cur := make([]float64, n)
-	for it := 0; it < steps; it++ {
-		next := make([]float64, n)
-		for i := range cur {
-			l := leftTemp
-			if i > 0 {
-				l = cur[i-1]
+			fmt.Printf("%-9s %d iterations in %.3fs virtual, max deviation %.2e\n",
+				mode, st.Iters, st.Elapsed.Seconds(), worst)
+			if worst > 1e-9 {
+				panic("distributed Jacobi diverged from the reference")
 			}
-			r := rightTemp
-			if i < n-1 {
-				r = cur[i+1]
-			}
-			next[i] = 0.5 * (l + r)
-		}
-		cur = next
+		})
 	}
-	return cur
 }
 
 func check(err error) {

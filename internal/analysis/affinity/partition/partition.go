@@ -1,0 +1,254 @@
+// Package partition cuts a weighted undirected affinity graph into at
+// most budget co-location groups of bounded size — the optimization
+// half of the static placement oracle (DESIGN.md §14).
+//
+// The algorithm is greedy agglomerative modularity maximization with a
+// Kernighan-Lin-style refinement pass, restricted to integers so the
+// result is bit-exact across platforms: group pairs merge while the
+// modularity gain 2·m·w(A,B) − k(A)·k(B) is positive and the merged
+// size stays within the per-node capacity ceil(V/budget); a force phase
+// then merges best-gain pairs (any sign) until at most budget groups
+// remain; finally single vertices move between groups while doing so
+// strictly increases their internal affinity.  All candidate scans run
+// in sorted vertex order with deterministic tie-breaks, so equal-gain
+// choices never depend on map order.
+package partition
+
+import "sort"
+
+// Edge is one undirected weighted edge between vertex indices.
+type Edge struct {
+	A, B int
+	W    int64
+}
+
+// Graph is the partitioner's input: Vertices names (already in the
+// caller's canonical order — indices refer to this slice), Edges the
+// accumulated affinity weights.  Self-loops and zero-weight edges are
+// ignored.
+type Graph struct {
+	Vertices []string
+	Edges    []Edge
+}
+
+// Partition cuts g into at most budget groups of at most
+// ceil(len(Vertices)/budget) vertices each and returns the groups as
+// sorted vertex-index slices, ordered by their smallest member.  When
+// the capacity bound makes budget groups unreachable (greedy packing
+// can strand odd-sized groups), more than budget groups are returned
+// rather than overflowing a node's share.
+func Partition(g Graph, budget int) [][]int {
+	n := len(g.Vertices)
+	if n == 0 {
+		return nil
+	}
+	if budget < 1 {
+		budget = 1
+	}
+	cap_ := (n + budget - 1) / budget
+
+	// Adjacency and degree sums.
+	w := make(map[[2]int]int64)
+	k := make([]int64, n)
+	var m int64
+	for _, e := range g.Edges {
+		if e.A == e.B || e.W == 0 || e.A < 0 || e.B < 0 || e.A >= n || e.B >= n {
+			continue
+		}
+		a, b := e.A, e.B
+		if a > b {
+			a, b = b, a
+		}
+		w[[2]int{a, b}] += e.W
+		k[e.A] += e.W
+		k[e.B] += e.W
+		m += e.W
+	}
+	if m == 0 {
+		m = 1 // weightless graph: gains reduce to -k products, merges stop at once
+	}
+
+	// group[v] = current group id; groups tracked as member lists keyed
+	// by their smallest vertex.
+	group := make([]int, n)
+	members := make([][]int, n)
+	for v := 0; v < n; v++ {
+		group[v] = v
+		members[v] = []int{v}
+	}
+	live := func() []int {
+		ids := make([]int, 0, n)
+		for id, ms := range members {
+			if len(ms) > 0 {
+				ids = append(ids, id)
+			}
+		}
+		return ids
+	}
+	between := func(a, b int) int64 {
+		var s int64
+		for _, va := range members[a] {
+			for _, vb := range members[b] {
+				x, y := va, vb
+				if x > y {
+					x, y = y, x
+				}
+				s += w[[2]int{x, y}]
+			}
+		}
+		return s
+	}
+	degree := func(a int) int64 {
+		var s int64
+		for _, v := range members[a] {
+			s += k[v]
+		}
+		return s
+	}
+	merge := func(a, b int) {
+		if a > b {
+			a, b = b, a
+		}
+		for _, v := range members[b] {
+			group[v] = a
+		}
+		members[a] = append(members[a], members[b]...)
+		sort.Ints(members[a])
+		members[b] = nil
+	}
+
+	// Phase 1: greedy positive-gain merges under capacity.
+	for {
+		ids := live()
+		bestGain := int64(0)
+		bestA, bestB := -1, -1
+		for i := 0; i < len(ids); i++ {
+			for j := i + 1; j < len(ids); j++ {
+				a, b := ids[i], ids[j]
+				if len(members[a])+len(members[b]) > cap_ {
+					continue
+				}
+				wab := between(a, b)
+				if wab == 0 {
+					continue
+				}
+				gain := 2*m*wab - degree(a)*degree(b)
+				if gain > bestGain {
+					bestGain, bestA, bestB = gain, a, b
+				}
+			}
+		}
+		if bestA < 0 {
+			break
+		}
+		merge(bestA, bestB)
+	}
+
+	// Phase 2: force down to the budget; best gain wins regardless of
+	// sign, but the capacity bound stays hard.
+	for len(live()) > budget {
+		ids := live()
+		var bestGain int64
+		bestA, bestB := -1, -1
+		first := true
+		for i := 0; i < len(ids); i++ {
+			for j := i + 1; j < len(ids); j++ {
+				a, b := ids[i], ids[j]
+				if len(members[a])+len(members[b]) > cap_ {
+					continue
+				}
+				gain := 2*m*between(a, b) - degree(a)*degree(b)
+				if first || gain > bestGain {
+					bestGain, bestA, bestB, first = gain, a, b, false
+				}
+			}
+		}
+		if bestA < 0 {
+			break // no feasible merge left; accept the extra groups
+		}
+		merge(bestA, bestB)
+	}
+
+	// Phase 3: KL-style refinement — move a vertex to the group holding
+	// more of its affinity, capacity permitting.  Bounded passes; each
+	// move strictly increases total internal weight, so this terminates
+	// regardless.
+	attach := func(v, a int) int64 {
+		var s int64
+		for _, u := range members[a] {
+			if u == v {
+				continue
+			}
+			x, y := v, u
+			if x > y {
+				x, y = y, x
+			}
+			s += w[[2]int{x, y}]
+		}
+		return s
+	}
+	for pass := 0; pass < 8; pass++ {
+		moved := false
+		for v := 0; v < n; v++ {
+			own := group[v]
+			if len(members[own]) == 1 {
+				continue // moving a singleton can only merge groups; phase 1/2 decided that
+			}
+			ownW := attach(v, own)
+			bestGain := int64(0)
+			bestDst := -1
+			for _, dst := range live() {
+				if dst == own || len(members[dst])+1 > cap_ {
+					continue
+				}
+				gain := attach(v, dst) - ownW
+				if gain > bestGain {
+					bestGain, bestDst = gain, dst
+				}
+			}
+			if bestDst < 0 {
+				continue
+			}
+			// Detach v from own, attach to bestDst.
+			ms := members[own][:0]
+			for _, u := range members[own] {
+				if u != v {
+					ms = append(ms, u)
+				}
+			}
+			members[own] = ms
+			members[bestDst] = append(members[bestDst], v)
+			sort.Ints(members[bestDst])
+			group[v] = bestDst
+			moved = true
+		}
+		if !moved {
+			break
+		}
+	}
+
+	// Canonical output: groups ordered by smallest member.
+	var out [][]int
+	for _, ms := range members {
+		if len(ms) > 0 {
+			out = append(out, ms)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// InternalWeight sums the affinity internal to one group.
+func InternalWeight(g Graph, grp []int) int64 {
+	in := make(map[int]bool, len(grp))
+	for _, v := range grp {
+		in[v] = true
+	}
+	var s int64
+	for _, e := range g.Edges {
+		if e.A != e.B && in[e.A] && in[e.B] {
+			s += e.W
+		}
+	}
+	return s
+}

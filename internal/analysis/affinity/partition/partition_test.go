@@ -1,0 +1,147 @@
+package partition
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func names(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("v%d", i)
+	}
+	return out
+}
+
+// A master/slave star: vertex 0 talks to everyone, slaves are
+// independent.  The cut keeps the heaviest feasible clique around the
+// master and pairs the rest to stay within budget.
+func TestPartitionStar(t *testing.T) {
+	g := Graph{Vertices: names(9)}
+	for i := 1; i < 9; i++ {
+		g.Edges = append(g.Edges, Edge{A: 0, B: i, W: 17})
+	}
+	got := Partition(g, 4)
+	want := [][]int{{0, 1, 2}, {3, 4}, {5, 6}, {7, 8}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("star partition = %v, want %v", got, want)
+	}
+}
+
+// A neighbor-exchange chain: vertex 0 (the driver) talks to every strip
+// equally, strips talk to their neighbors.  Every multi-member group
+// must be a contiguous strip run (optionally with the driver attached).
+func TestPartitionChain(t *testing.T) {
+	g := Graph{Vertices: names(9)}
+	for i := 1; i < 9; i++ {
+		g.Edges = append(g.Edges, Edge{A: 0, B: i, W: 16})
+	}
+	for i := 1; i < 8; i++ {
+		g.Edges = append(g.Edges, Edge{A: i, B: i + 1, W: 16})
+	}
+	got := Partition(g, 4)
+	want := [][]int{{0, 1, 2}, {3, 4}, {5, 6}, {7, 8}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("chain partition = %v, want %v", got, want)
+	}
+	// Five of the seven neighbor edges stay internal.
+	var internal int64
+	for _, grp := range got {
+		internal += InternalWeight(g, grp)
+	}
+	if internal < 5*16 {
+		t.Fatalf("internal weight = %d, want >= %d", internal, 5*16)
+	}
+}
+
+// Determinism: repeated runs over the same graph are identical.
+func TestPartitionDeterministic(t *testing.T) {
+	g := Graph{Vertices: names(9)}
+	for i := 1; i < 9; i++ {
+		g.Edges = append(g.Edges, Edge{A: 0, B: i, W: 16})
+		if i < 8 {
+			g.Edges = append(g.Edges, Edge{A: i, B: i + 1, W: 16})
+		}
+	}
+	first := Partition(g, 4)
+	for i := 0; i < 5; i++ {
+		if got := Partition(g, 4); !reflect.DeepEqual(got, first) {
+			t.Fatalf("run %d: partition = %v, want %v", i, got, first)
+		}
+	}
+}
+
+// With budget >= V the cap is 1: every vertex stays alone regardless of
+// edge weight.
+func TestPartitionBudgetCoversAll(t *testing.T) {
+	g := Graph{
+		Vertices: names(3),
+		Edges:    []Edge{{A: 0, B: 1, W: 100}, {A: 1, B: 2, W: 100}},
+	}
+	got := Partition(g, 3)
+	want := [][]int{{0}, {1}, {2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("partition = %v, want %v", got, want)
+	}
+}
+
+// Budget 1 forces everything into a single group.
+func TestPartitionBudgetOne(t *testing.T) {
+	g := Graph{
+		Vertices: names(4),
+		Edges:    []Edge{{A: 0, B: 1, W: 5}},
+	}
+	got := Partition(g, 1)
+	want := [][]int{{0, 1, 2, 3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("partition = %v, want %v", got, want)
+	}
+}
+
+// An edgeless graph still covers every vertex.
+func TestPartitionNoEdges(t *testing.T) {
+	got := Partition(Graph{Vertices: names(4)}, 2)
+	seen := make(map[int]bool)
+	for _, grp := range got {
+		if len(grp) > 2 {
+			t.Fatalf("group %v exceeds cap 2", grp)
+		}
+		for _, v := range grp {
+			if seen[v] {
+				t.Fatalf("vertex %d appears twice in %v", v, got)
+			}
+			seen[v] = true
+		}
+	}
+	if len(seen) != 4 {
+		t.Fatalf("covered %d vertices, want 4: %v", len(seen), got)
+	}
+}
+
+// Empty graph.
+func TestPartitionEmpty(t *testing.T) {
+	if got := Partition(Graph{}, 4); len(got) != 0 {
+		t.Fatalf("partition of empty graph = %v, want empty", got)
+	}
+}
+
+func TestInternalWeight(t *testing.T) {
+	g := Graph{
+		Vertices: names(4),
+		Edges: []Edge{
+			{A: 0, B: 1, W: 7},
+			{A: 1, B: 2, W: 3},
+			{A: 2, B: 3, W: 9},
+		},
+	}
+	if w := InternalWeight(g, []int{0, 1}); w != 7 {
+		t.Fatalf("InternalWeight({0,1}) = %d, want 7", w)
+	}
+	if w := InternalWeight(g, []int{0, 1, 2}); w != 10 {
+		t.Fatalf("InternalWeight({0,1,2}) = %d, want 10", w)
+	}
+	if w := InternalWeight(g, []int{3}); w != 0 {
+		t.Fatalf("InternalWeight({3}) = %d, want 0", w)
+	}
+}

@@ -1,0 +1,84 @@
+// Package chain is the neighbor-exchange affinity fixture — the jacobi
+// shape.  The driver wires each strip to its neighbors' first-order
+// refs through SetNeighbors (a field-store summary), then drives
+// Exchange rounds whose neighbor calls happen inside the hosted method
+// (an invocation summary through receiver fields).  Expected graph:
+// main-to-strip edges plus a strip chain with relative ±1 edges.
+package chain
+
+import "jsymphony"
+
+// SiteStrips tags the strip fleet's creation site.
+const SiteStrips = "strips"
+
+// Strip is one domain slice holding refs to its neighbors.
+type Strip struct {
+	Left, Right jsymphony.Ref
+	HasL, HasR  bool
+}
+
+// SetNeighbors wires the strip to its neighbors.
+func (s *Strip) SetNeighbors(ctx *jsymphony.Ctx, left, right jsymphony.Ref, hasL, hasR bool) {
+	s.Left = left
+	s.Right = right
+	s.HasL = hasL
+	s.HasR = hasR
+}
+
+// Edge returns the strip's boundary value.
+func (s *Strip) Edge() int { return 0 }
+
+// Exchange pulls both neighbors' boundary values.
+func (s *Strip) Exchange(ctx *jsymphony.Ctx) error {
+	if s.HasL {
+		if _, err := ctx.Invoke(s.Left, "Edge", nil); err != nil {
+			return err
+		}
+	}
+	if s.HasR {
+		if _, err := ctx.Invoke(s.Right, "Edge", nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func init() {
+	jsymphony.RegisterClass("chain.Strip", 2048, func() any { return &Strip{} })
+}
+
+// Run wires a six-strip chain and drives five exchange rounds.
+//
+//jsplace:entry
+func Run(js *jsymphony.JS) error {
+	refs := make([]jsymphony.Ref, 6)
+	strips := make([]*jsymphony.Object, 6)
+	for i := 0; i < 6; i++ {
+		o, err := js.NewObjectTagged(SiteStrips, i, "chain.Strip", nil, nil)
+		if err != nil {
+			return err
+		}
+		strips[i] = o
+		refs[i], _ = o.Ref()
+	}
+	for i := 0; i < 6; i++ {
+		var left, right jsymphony.Ref
+		if i > 0 {
+			left = refs[i-1]
+		}
+		if i < 5 {
+			right = refs[i+1]
+		}
+		if _, err := strips[i].SInvoke("SetNeighbors", left, right, i > 0, i < 5); err != nil {
+			return err
+		}
+	}
+	for t := 0; t < 5; t++ {
+		for i := 0; i < 6; i++ {
+			if _, err := strips[i].SInvoke("Exchange"); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

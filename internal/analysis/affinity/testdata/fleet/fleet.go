@@ -1,0 +1,67 @@
+// Package fleet is the shared-store affinity fixture — the kv shape.
+// Readers receive the store's first-order ref as an invocation argument
+// and hammer it from inside a hosted method via a helper, exercising
+// the interprocedural parameter-ref summary: Reader.Run -> readOnce ->
+// ctx.Invoke(store).  Expected graph: every reader connected to the
+// store with the loop-estimated weight, plus driver edges.
+package fleet
+
+import "jsymphony"
+
+// Site tags.
+const (
+	SiteStore   = "store"
+	SiteReaders = "readers"
+)
+
+// Store is the shared keyed store.
+type Store struct{ Data map[string]int }
+
+// Get reads one key.
+func (s *Store) Get(k string) int { return s.Data[k] }
+
+// Reader hammers the store through its ref.
+type Reader struct{}
+
+// Run performs n reads against the store ref.
+func (r *Reader) Run(ctx *jsymphony.Ctx, store jsymphony.Ref, n int) error {
+	for i := 0; i < n; i++ {
+		if err := r.readOnce(ctx, store); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readOnce is the helper the summary fixed-point must see through.
+func (r *Reader) readOnce(ctx *jsymphony.Ctx, store jsymphony.Ref) error {
+	_, err := ctx.Invoke(store, "Get", []any{"k"})
+	return err
+}
+
+func init() {
+	jsymphony.RegisterClass("fleet.Store", 1024, func() any { return &Store{} })
+	jsymphony.RegisterClass("fleet.Reader", 512, func() any { return &Reader{} })
+}
+
+// Run creates the store and a reader fleet, handing each reader the
+// store's ref.
+//
+//jsplace:entry
+func Run(js *jsymphony.JS) error {
+	store, err := js.NewObjectTagged(SiteStore, 0, "fleet.Store", nil, nil)
+	if err != nil {
+		return err
+	}
+	ref, _ := store.Ref()
+	for i := 0; i < 3; i++ {
+		r, err := js.NewObjectTagged(SiteReaders, i, "fleet.Reader", nil, nil)
+		if err != nil {
+			return err
+		}
+		if _, err := r.AInvoke("Run", ref, 100); err != nil {
+			return err
+		}
+	}
+	return nil
+}

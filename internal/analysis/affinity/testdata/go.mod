@@ -1,0 +1,7 @@
+module fixtures
+
+go 1.22
+
+require jsymphony v0.0.0
+
+replace jsymphony => ../../../..

@@ -1,0 +1,50 @@
+// Package star is the master/slave affinity fixture: one driver
+// invoking a tagged fleet directly — the matmul shape.  Expected graph:
+// main connected to every slave with weight 4 (one Init plus three
+// Work rounds), no slave-to-slave edges.
+package star
+
+import "jsymphony"
+
+// SiteSlaves tags the worker fleet's creation site.
+const SiteSlaves = "slaves"
+
+// Slave is the hosted worker class.
+type Slave struct{ N int }
+
+// Init seeds the worker.
+func (s *Slave) Init(x int) { s.N = x }
+
+// Work performs one round.
+func (s *Slave) Work(r int) int { return s.N + r }
+
+func init() {
+	jsymphony.RegisterClass("star.Slave", 1024, func() any { return &Slave{} })
+}
+
+// Run drives the fleet: create, init, three rounds of work.
+//
+//jsplace:entry
+func Run(js *jsymphony.JS) error {
+	slaves := make([]*jsymphony.Object, 4)
+	for i := 0; i < 4; i++ {
+		o, err := js.NewObjectTagged(SiteSlaves, i, "star.Slave", nil, nil)
+		if err != nil {
+			return err
+		}
+		slaves[i] = o
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := slaves[i].SInvoke("Init", 7); err != nil {
+			return err
+		}
+	}
+	for r := 0; r < 3; r++ {
+		for i := 0; i < 4; i++ {
+			if _, err := slaves[i].SInvoke("Work", r); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package loader
+
+import (
+	"os/exec"
+	"testing"
+)
+
+// A cache replays both the go-list output and the finished packages:
+// the second identical Load must not reach the toolchain at all, and
+// must hand back the very same *Package values.
+func TestCacheMemoizesLoad(t *testing.T) {
+	calls := 0
+	c := &Cache{ListFn: func(dir string, args []string) ([]byte, error) {
+		calls++
+		cmd := exec.Command("go", args...)
+		cmd.Dir = dir
+		return cmd.Output()
+	}}
+
+	first, err := c.Load("../../..", "./internal/place")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != 1 || first[0].ImportPath != "jsymphony/internal/place" {
+		t.Fatalf("loaded %v, want jsymphony/internal/place", first)
+	}
+	second, err := c.Load("../../..", "./internal/place")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("go list ran %d times for two identical loads, want 1", calls)
+	}
+	if len(second) != 1 || second[0] != first[0] {
+		t.Fatalf("second load returned different packages")
+	}
+
+	// A different pattern set is a real miss...
+	if _, err := c.Load("../../..", "./internal/analysis"); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Fatalf("go list ran %d times after a distinct load, want 2", calls)
+	}
+	// ...but shares the FileSet, so positions from both loads resolve
+	// against one table.
+	third, _ := c.Load("../../..", "./internal/analysis")
+	if third[0].Fset != first[0].Fset {
+		t.Fatal("loads from one cache use different FileSets")
+	}
+}
+
+// The empty-output path: a list runner that yields nothing is still
+// memoized, and Load reports zero packages rather than an error.
+func TestCacheEmptyListMemoized(t *testing.T) {
+	calls := 0
+	c := &Cache{ListFn: func(dir string, args []string) ([]byte, error) {
+		calls++
+		return nil, nil
+	}}
+	for i := 0; i < 2; i++ {
+		pkgs, err := c.Load("/nonexistent", "./...")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pkgs) != 0 {
+			t.Fatalf("got %d packages from empty list output", len(pkgs))
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("empty list output not memoized: %d calls", calls)
+	}
+}

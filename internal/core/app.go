@@ -38,7 +38,8 @@ type App struct {
 	recovering  map[string]bool // dead nodes with a recovery pass in flight
 	authOn      bool            // write-authority renewal proc started
 	shardGroups map[string]*ShardGroup
-	durManSeq   uint64 // durable-manifest revision counter
+	durManSeq   uint64      // durable-manifest revision counter
+	place       *placeState // static placement oracle (nil when unarmed)
 }
 
 // objEntry is one local-objects-table row.

@@ -45,32 +45,7 @@ func (a *App) NewObject(p sched.Proc, class string, comp virtarch.Component, con
 	if err != nil {
 		return nil, err
 	}
-
-	a.mu.Lock()
-	if a.done {
-		a.mu.Unlock()
-		return nil, errors.New("core: application is unregistered")
-	}
-	a.seq++
-	id := a.seq
-	a.mu.Unlock()
-
-	ref := Ref{App: a.id, ID: id, Class: class, Origin: a.rt.Node()}
-	var lastErr error
-	for _, node := range candidates {
-		body := rmi.MustMarshal(createReq{Ref: ref})
-		_, err := a.rt.st.Call(p, node, PubService, "create", body, 10*time.Second)
-		if err == nil {
-			a.mu.Lock()
-			a.objs[id] = &objEntry{ref: ref, location: node, comp: comp, constr: constr}
-			a.mu.Unlock()
-			return &Object{app: a, id: id}, nil
-		}
-		lastErr = err
-		// A node without the class loaded is skipped — the next
-		// candidate may have it (selective class loading, §4.3).
-	}
-	return nil, fmt.Errorf("core: could not create %q on any candidate node: %w", class, lastErr)
+	return a.createOn(p, class, comp, constr, candidates)
 }
 
 // placementCandidates resolves a placement spec to an ordered node list.

@@ -964,7 +964,10 @@ func (rt *Runtime) InvokeRefTraced(p sched.Proc, parent uint64, kind trace.SpanK
 // read-only methods, the only ones a replica may serve.
 func (rt *Runtime) invokeAt(p sched.Proc, loc string, ref Ref, method string, args []any, span uint64, read bool, class string) (invokeResp, error) {
 	req := invokeReq{App: ref.App, ID: ref.ID, Method: method, Args: args, Span: span, Read: read, Class: class}
+	// The locality split every placement decision is judged by: a call
+	// whose target lives on the calling node skips the wire entirely.
 	if loc == rt.Node() {
+		rt.world.reg.Counter("js_core_local_invokes_total").Inc()
 		resp, err := rt.invoke(p, req)
 		if err != nil {
 			// Mirror the wire behaviour so retry logic sees the same
@@ -973,6 +976,7 @@ func (rt *Runtime) invokeAt(p sched.Proc, loc string, ref Ref, method string, ar
 		}
 		return resp, nil
 	}
+	rt.world.reg.Counter("js_core_remote_invokes_total").Inc()
 	body, err := rmi.Marshal(req)
 	if err != nil {
 		return invokeResp{}, err

@@ -1,0 +1,40 @@
+package nas
+
+import (
+	"jsymphony/internal/params"
+	"jsymphony/internal/rmi"
+	"jsymphony/internal/sched"
+)
+
+// Colocation renders a placement hint as the constraint set the
+// directory evaluates: the candidate must be the named node.  This is
+// how a static co-location group (internal/place) reaches Select once
+// its first member has pinned the group to a node — as an ordinary
+// JSConstraints conjunction, so it composes with user and JS-Shell
+// default constraints and is refused like any other unsatisfiable set
+// when the node is dead.
+func Colocation(node string) *params.Constraints {
+	return params.NewConstraints().MustSet(params.NodeName, "==", node)
+}
+
+// SelectWithHint is the hint-aware allocation query: it first asks for
+// nodes satisfying opts.Constr AND Colocation(hint), and when that is
+// unsatisfiable — the hinted node is dead, silent, excluded, or fails
+// the caller's own constraints — falls back to a plain Select under
+// opts alone.  colocated reports whether the hint held, so callers can
+// re-pin their group to the node actually chosen (failure
+// re-selection: a co-location set survives the loss of its node by
+// following the fallback).
+//
+// hint == "" is a plain SelectNodes.
+func SelectWithHint(p sched.Proc, st *rmi.Station, dirNode, hint string, opts SelectOpts) (nodes []string, colocated bool, err error) {
+	if hint != "" {
+		hinted := opts
+		hinted.Constr = opts.Constr.And(Colocation(hint))
+		if nodes, err = SelectNodes(p, st, dirNode, hinted); err == nil {
+			return nodes, true, nil
+		}
+	}
+	nodes, err = SelectNodes(p, st, dirNode, opts)
+	return nodes, false, err
+}

@@ -199,6 +199,28 @@ func (js *JS) NewObject(class string, where Component, constr *Constraints) (*Ob
 	return &Object{o: o, js: js}, nil
 }
 
+// InstallPlacementHints arms the static placement oracle for this
+// application: NewObjectTagged creations consult the hint groups
+// (cmd/jsplace output) before asking the directory.  The group holding
+// the driver vertex anchors to the home node; other groups pin to the
+// node their first member lands on.  nil disarms.
+func (js *JS) InstallPlacementHints(h *PlacementHints) {
+	js.app.InstallPlacementHints(h)
+}
+
+// NewObjectTagged is NewObject for a tagged creation site: site and idx
+// name the instance in the workload's static affinity graph, so the
+// runtime can place it with its co-location group (DESIGN.md §14).
+// Without installed hints (or on a hint miss) the placement degrades to
+// load-only selection; an explicit *Node still wins over any hint.
+func (js *JS) NewObjectTagged(site string, idx int, class string, where Component, constr *Constraints) (*Object, error) {
+	o, err := js.app.NewObjectTagged(js.p, site, idx, class, where, constr)
+	if err != nil {
+		return nil, err
+	}
+	return &Object{o: o, js: js}, nil
+}
+
 // NewObjectNear creates an object co-located with another one — the
 // paper's "generate obj1 on the same node where obj2 has been generated"
 // (§4.4).  Objects that interact heavily should be mapped together; see

@@ -1,0 +1,313 @@
+// Package jacobi implements a 1-D heat-diffusion solver decomposed into
+// strip objects that exchange boundary cells with their neighbors
+// through first-order object handles (paper §5.2: "object handles
+// (first-order objects) can be passed to methods of other objects").
+//
+// It is the placement oracle's neighbor-affinity workload: the driver
+// wires each strip to its neighbors' refs, then drives Exchange/Step
+// phases whose boundary pulls happen strip-to-strip, not through the
+// master.  A static affinity pass (cmd/jsplace) sees main→strip edges
+// plus a chain of strip(i)→strip(i±1) edges, so its co-location hints
+// keep adjacent strips on the same node and most boundary traffic
+// local.  The distributed solution is verified against a sequential
+// reference (Verify).
+package jacobi
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"time"
+
+	"jsymphony"
+)
+
+// ClassName is the registered class of the strip object.
+const ClassName = "jacobi.Strip"
+
+// SiteStrips tags the strip fleet's creation site in the affinity graph.
+const SiteStrips = "strips"
+
+func init() {
+	jsymphony.RegisterClass(ClassName, 4096, func() any { return &Strip{} })
+}
+
+// Strip owns a contiguous block of rod cells plus one ghost cell per
+// side, refreshed from the neighbors each iteration.  Neighbor handles
+// are wired once by SetNeighbors before the first Exchange; the phase
+// ordering (the master joins SetNeighbors before driving iterations)
+// makes the unsynchronized handle reads in Exchange race-free.
+type Strip struct {
+	Cells   []float64
+	Ghost   [2]float64    // left, right ghost values
+	Left    jsymphony.Ref // zero Ref = physical boundary
+	Right   jsymphony.Ref
+	LeftBC  float64 // boundary condition at the rod ends
+	RightBC float64
+	mu      sync.Mutex
+}
+
+// Init sets the strip size, interior value, and physical boundaries.
+func (s *Strip) Init(cells int, initial, leftBC, rightBC float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.Cells = make([]float64, cells)
+	for i := range s.Cells {
+		s.Cells[i] = initial
+	}
+	s.LeftBC, s.RightBC = leftBC, rightBC
+	s.Ghost = [2]float64{leftBC, rightBC}
+}
+
+// SetNeighbors wires the strip to its neighbors' handles.
+func (s *Strip) SetNeighbors(left, right jsymphony.Ref) {
+	s.Left = left
+	s.Right = right
+}
+
+// LeftEdge returns the strip's first cell (for the left neighbor).
+func (s *Strip) LeftEdge() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.Cells[0]
+}
+
+// RightEdge returns the strip's last cell (for the right neighbor).
+func (s *Strip) RightEdge() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.Cells[len(s.Cells)-1]
+}
+
+// Exchange refreshes the ghost cells by invoking the neighbors directly
+// (object-to-object RMI through refs).
+func (s *Strip) Exchange(ctx *jsymphony.Ctx) error {
+	g := [2]float64{s.LeftBC, s.RightBC}
+	if !s.Left.IsZero() {
+		v, err := ctx.Invoke(s.Left, "RightEdge", nil)
+		if err != nil {
+			return err
+		}
+		g[0] = v.(float64)
+	}
+	if !s.Right.IsZero() {
+		v, err := ctx.Invoke(s.Right, "LeftEdge", nil)
+		if err != nil {
+			return err
+		}
+		g[1] = v.(float64)
+	}
+	s.mu.Lock()
+	s.Ghost = g
+	s.mu.Unlock()
+	return nil
+}
+
+// Step performs one Jacobi update from the ghosted previous state and
+// returns the largest cell change.
+func (s *Strip) Step(ctx *jsymphony.Ctx) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := s.Cells
+	next := make([]float64, len(old))
+	maxDelta := 0.0
+	for i := range old {
+		l := s.Ghost[0]
+		if i > 0 {
+			l = old[i-1]
+		}
+		r := s.Ghost[1]
+		if i < len(old)-1 {
+			r = old[i+1]
+		}
+		next[i] = 0.5 * (l + r)
+		if d := math.Abs(next[i] - old[i]); d > maxDelta {
+			maxDelta = d
+		}
+	}
+	// Model the stencil cost so the simulated cluster is exercised.
+	ctx.Compute(float64(len(old)) * 4)
+	s.Cells = next
+	return maxDelta
+}
+
+// Values returns the strip's cells.
+func (s *Strip) Values() []float64 { return append([]float64(nil), s.Cells...) }
+
+// Config parameterizes one solver run.
+type Config struct {
+	Strips   int     // number of strip objects (default 8)
+	PerStrip int     // cells per strip (default 8)
+	Iters    int     // fixed iteration count (default 50)
+	LeftBC   float64 // temperature at the left rod end
+	RightBC  float64 // temperature at the right rod end
+}
+
+func (c Config) withDefaults() Config {
+	if c.Strips <= 0 {
+		c.Strips = 8
+	}
+	if c.PerStrip <= 0 {
+		c.PerStrip = 8
+	}
+	if c.Iters <= 0 {
+		c.Iters = 50
+	}
+	return c
+}
+
+// Stats reports one run.
+type Stats struct {
+	Elapsed  time.Duration // makespan observed by the master
+	Iters    int           // iterations driven
+	MaxDelta float64       // largest cell change of the final iteration
+	Cells    []float64     // gathered rod state after the last step
+}
+
+// Run executes the strip-decomposed solver on a JavaSymphony session.
+// Strips are created through NewObjectTagged so installed placement
+// hints co-locate neighboring strips; without hints placement degrades
+// to load-only selection over the cluster.
+//
+//jsplace:entry
+func Run(js *jsymphony.JS, cfg Config) (Stats, error) {
+	cfg = cfg.withDefaults()
+	cluster, err := js.NewCluster(cfg.Strips, nil)
+	if err != nil {
+		return Stats{}, err
+	}
+	defer cluster.Free()
+	cb := js.NewCodebase()
+	if err := cb.Add(ClassName); err != nil {
+		return Stats{}, err
+	}
+	if err := cb.Load(cluster); err != nil {
+		return Stats{}, err
+	}
+	cb.Free()
+
+	start := js.Now()
+	nStrips := cfg.Strips
+	strips := make([]*jsymphony.Object, nStrips)
+	refs := make([]jsymphony.Ref, nStrips)
+	for i := 0; i < nStrips; i++ {
+		o, err := js.NewObjectTagged(SiteStrips, i, ClassName, cluster, nil) //jsplace:fanout 8
+		if err != nil {
+			return Stats{}, err
+		}
+		strips[i] = o
+		if _, err := strips[i].SInvoke("Init", cfg.PerStrip, 0.0, cfg.LeftBC, cfg.RightBC); err != nil {
+			return Stats{}, err
+		}
+		refs[i], err = strips[i].Ref()
+		if err != nil {
+			return Stats{}, err
+		}
+	}
+	for i := 0; i < nStrips; i++ {
+		var left, right jsymphony.Ref
+		if i > 0 {
+			left = refs[i-1]
+		}
+		if i < nStrips-1 {
+			right = refs[i+1]
+		}
+		if _, err := strips[i].SInvoke("SetNeighbors", left, right); err != nil {
+			return Stats{}, err
+		}
+	}
+
+	// Iterate: exchange ghosts, then step, all strips in parallel.
+	handles := make([]*jsymphony.ResultHandle, nStrips)
+	maxDelta := 0.0
+	for it := 0; it < cfg.Iters; it++ {
+		for i := 0; i < nStrips; i++ {
+			h, err := strips[i].AInvoke("Exchange")
+			if err != nil {
+				return Stats{}, err
+			}
+			handles[i] = h
+		}
+		for i := 0; i < nStrips; i++ {
+			if _, err := handles[i].Result(); err != nil {
+				return Stats{}, err
+			}
+		}
+		maxDelta = 0.0
+		for i := 0; i < nStrips; i++ {
+			h, err := strips[i].AInvoke("Step")
+			if err != nil {
+				return Stats{}, err
+			}
+			handles[i] = h
+		}
+		for i := 0; i < nStrips; i++ {
+			v, err := handles[i].Result()
+			if err != nil {
+				return Stats{}, err
+			}
+			if d := v.(float64); d > maxDelta {
+				maxDelta = d
+			}
+		}
+	}
+
+	// Gather the final rod state.
+	var cells []float64
+	for i := 0; i < nStrips; i++ {
+		v, err := strips[i].SInvoke("Values")
+		if err != nil {
+			return Stats{}, err
+		}
+		cells = append(cells, v.([]float64)...)
+	}
+	for i := range strips {
+		_ = strips[i].Free()
+	}
+	return Stats{
+		Elapsed:  js.Now() - start,
+		Iters:    cfg.Iters,
+		MaxDelta: maxDelta,
+		Cells:    cells,
+	}, nil
+}
+
+// Reference runs the same Jacobi iteration sequentially from the same
+// initial and boundary conditions.
+func Reference(cfg Config) []float64 {
+	cfg = cfg.withDefaults()
+	n := cfg.Strips * cfg.PerStrip
+	cur := make([]float64, n)
+	for it := 0; it < cfg.Iters; it++ {
+		next := make([]float64, n)
+		for i := range cur {
+			l := cfg.LeftBC
+			if i > 0 {
+				l = cur[i-1]
+			}
+			r := cfg.RightBC
+			if i < n-1 {
+				r = cur[i+1]
+			}
+			next[i] = 0.5 * (l + r)
+		}
+		cur = next
+	}
+	return cur
+}
+
+// Verify checks a run's gathered state against the sequential
+// reference, returning the worst absolute deviation.
+func Verify(cfg Config, got []float64) (float64, error) {
+	want := Reference(cfg)
+	if len(got) != len(want) {
+		return 0, errors.New("jacobi: gathered state has wrong length")
+	}
+	worst := 0.0
+	for i := range got {
+		if d := math.Abs(got[i] - want[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst, nil
+}

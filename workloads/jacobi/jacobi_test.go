@@ -1,0 +1,84 @@
+package jacobi
+
+import (
+	"math"
+	"testing"
+
+	"jsymphony"
+)
+
+func TestStripLocalStep(t *testing.T) {
+	s := &Strip{}
+	s.Init(4, 0, 100, 0)
+	ctx := &jsymphony.Ctx{}
+	d := s.Step(ctx)
+	// First update: only the boundary cells move, by half the BC.
+	if d != 50 {
+		t.Fatalf("maxDelta = %v, want 50", d)
+	}
+	v := s.Values()
+	want := []float64{50, 0, 0, 0}
+	for i := range want {
+		if v[i] != want[i] {
+			t.Fatalf("cells = %v, want %v", v, want)
+		}
+	}
+}
+
+func TestReferenceConverges(t *testing.T) {
+	cfg := Config{Strips: 2, PerStrip: 4, Iters: 4000, LeftBC: 100, RightBC: 0}
+	got := Reference(cfg)
+	// The steady state of the 1-D Laplace problem is linear in x.
+	n := cfg.Strips * cfg.PerStrip
+	for i, v := range got {
+		x := float64(i+1) / float64(n+1)
+		want := cfg.LeftBC*(1-x) + cfg.RightBC*x
+		if math.Abs(v-want) > 0.5 {
+			t.Fatalf("cell %d = %v, want ~%v", i, v, want)
+		}
+	}
+}
+
+func TestPlacementHintsParse(t *testing.T) {
+	h, err := PlacementHints()
+	if err != nil {
+		t.Fatalf("embedded hints: %v", err)
+	}
+	if h.Workload != "jsymphony/workloads/jacobi" {
+		t.Fatalf("workload = %q", h.Workload)
+	}
+	if _, ok := h.MainGroup(); !ok {
+		t.Fatal("committed hints have no driver group")
+	}
+}
+
+// The distributed solver must match the sequential reference exactly,
+// with and without placement hints — co-location changes where strips
+// live, never what they compute.
+func TestRunMatchesReference(t *testing.T) {
+	for _, hinted := range []bool{false, true} {
+		env := jsymphony.NewSimEnv(jsymphony.UniformCluster(jsymphony.Ultra10_300, 4),
+			jsymphony.IdleProfile, 1, jsymphony.EnvOptions{})
+		env.RunMain("", func(js *jsymphony.JS) {
+			if hinted {
+				h, err := PlacementHints()
+				if err != nil {
+					t.Fatal(err)
+				}
+				js.InstallPlacementHints(h)
+			}
+			cfg := Config{Strips: 4, PerStrip: 6, Iters: 40, LeftBC: 100, RightBC: 0}
+			st, err := Run(js, cfg)
+			if err != nil {
+				t.Fatalf("hinted=%v: %v", hinted, err)
+			}
+			worst, err := Verify(cfg, st.Cells)
+			if err != nil {
+				t.Fatalf("hinted=%v: %v", hinted, err)
+			}
+			if worst > 1e-9 {
+				t.Fatalf("hinted=%v: max deviation %v from sequential reference", hinted, worst)
+			}
+		})
+	}
+}

@@ -1,0 +1,19 @@
+package jacobi
+
+import (
+	_ "embed"
+
+	"jsymphony"
+)
+
+// placeJSON is the committed output of the static placement oracle for
+// this package (regenerate with `go run ./cmd/jsplace`; CI diffs it).
+//
+//go:embed jsplace.json
+var placeJSON []byte
+
+// PlacementHints returns the workload's committed co-location hints,
+// ready for jsymphony.InstallPlacementHints before Run.
+func PlacementHints() (*jsymphony.PlacementHints, error) {
+	return jsymphony.ParsePlacementHints(placeJSON)
+}

@@ -1,0 +1,124 @@
+// Fleet variant of the kv workload for the static placement oracle: a
+// single tagged Store plus a tagged Reader fleet hammering it through
+// the store's first-order ref.  The affinity pass (cmd/jsplace) folds
+// Reader.Run's ctx.Invoke loop into the driver's AInvoke sites, so its
+// hints co-locate readers with the store and most Gets become local.
+package kv
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"jsymphony"
+)
+
+// Creation-site tags in the affinity graph.
+const (
+	SiteStore   = "store"
+	SiteReaders = "readers"
+)
+
+// FleetConfig parameterizes one reader-fleet run.
+type FleetConfig struct {
+	Nodes          int     // cluster size requested from JRS
+	Readers        int     // reader objects (default 8)
+	ReadsPerReader int     // Gets issued by each reader (default 64)
+	ReadFlops      float64 // modeled CPU per Get
+}
+
+func (c FleetConfig) withDefaults() FleetConfig {
+	if c.Readers <= 0 {
+		c.Readers = 8
+	}
+	if c.ReadsPerReader <= 0 {
+		c.ReadsPerReader = 64
+	}
+	return c
+}
+
+// FleetStats reports one reader-fleet run.
+type FleetStats struct {
+	Elapsed time.Duration // makespan observed by the master
+	Reads   int           // total Gets performed
+	Sum     int           // checksum over all values read
+}
+
+// RunFleet seeds the store, launches the reader fleet, and joins the
+// reports.  Objects are created through NewObjectTagged so installed
+// placement hints (jsymphony.InstallPlacementHints) co-locate readers
+// with the store; without hints placement is load-only.
+//
+//jsplace:entry
+func RunFleet(js *jsymphony.JS, cfg FleetConfig) (FleetStats, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Nodes <= 0 {
+		return FleetStats{}, errors.New("kv: Nodes must be positive")
+	}
+	cluster, err := js.NewCluster(cfg.Nodes, nil)
+	if err != nil {
+		return FleetStats{}, err
+	}
+	defer cluster.Free()
+	cb := js.NewCodebase()
+	if err := cb.Add(StoreClass); err != nil {
+		return FleetStats{}, err
+	}
+	if err := cb.Add(ReaderClass); err != nil {
+		return FleetStats{}, err
+	}
+	if err := cb.Load(cluster); err != nil {
+		return FleetStats{}, err
+	}
+	cb.Free()
+
+	start := js.Now()
+	store, err := js.NewObjectTagged(SiteStore, 0, StoreClass, cluster, nil)
+	if err != nil {
+		return FleetStats{}, err
+	}
+	if _, err := store.SInvoke("Init", cfg.ReadFlops); err != nil {
+		return FleetStats{}, err
+	}
+	for k := 0; k < cfg.Readers; k++ {
+		if _, err := store.SInvoke("Put", fmt.Sprintf("key-%d", k), k+1); err != nil {
+			return FleetStats{}, err
+		}
+	}
+	ref, err := store.Ref()
+	if err != nil {
+		return FleetStats{}, err
+	}
+
+	readers := make([]*jsymphony.Object, cfg.Readers)
+	handles := make([]*jsymphony.ResultHandle, cfg.Readers)
+	for i := 0; i < cfg.Readers; i++ {
+		r, err := js.NewObjectTagged(SiteReaders, i, ReaderClass, cluster, nil) //jsplace:fanout 8
+		if err != nil {
+			return FleetStats{}, err
+		}
+		readers[i] = r
+		h, err := readers[i].AInvoke("Run", ref, fmt.Sprintf("key-%d", i), cfg.ReadsPerReader)
+		if err != nil {
+			return FleetStats{}, err
+		}
+		handles[i] = h
+	}
+
+	stats := FleetStats{}
+	for i := 0; i < cfg.Readers; i++ {
+		v, err := handles[i].Result()
+		if err != nil {
+			return FleetStats{}, err
+		}
+		rep := v.(ReadReport)
+		stats.Reads += rep.Reads
+		stats.Sum += rep.Sum
+	}
+	for i := range readers {
+		_ = readers[i].Free()
+	}
+	_ = store.Free()
+	stats.Elapsed = js.Now() - start
+	return stats, nil
+}

@@ -1,0 +1,138 @@
+// Placed variant of the master/slave multiplication: the creation and
+// dispatch structure is statically analyzable, so cmd/jsplace can
+// extract its affinity graph and emit co-location hints (DESIGN.md
+// §14).  RunPlaced is deliberately phase-structured — create, replicate,
+// then fixed round-robin dispatch — where Run reacts to completion
+// order; the reactive loop is better against stragglers, the static one
+// is what a placement oracle can reason about.
+package matmul
+
+import (
+	"errors"
+	"time"
+
+	"jsymphony"
+)
+
+// SiteSlaves tags the slave fleet's creation site in the affinity graph.
+const SiteSlaves = "slaves"
+
+// RunPlaced executes the multiplication with tagged, oracle-visible
+// placement: slaves are created through NewObjectTagged so installed
+// placement hints (jsymphony.InstallPlacementHints) co-locate each
+// slave with its affinity group; without hints placement degrades to
+// load-only selection over the cluster.
+//
+//jsplace:entry
+func RunPlaced(js *jsymphony.JS, cfg Config) (Stats, error) {
+	if cfg.N <= 0 || cfg.Nodes <= 0 {
+		return Stats{}, errors.New("matmul: N and Nodes must be positive")
+	}
+	rowsPerTask := cfg.RowsPerTask
+	if rowsPerTask <= 0 {
+		rowsPerTask = cfg.N / (8 * cfg.Nodes)
+		if rowsPerTask < 1 {
+			rowsPerTask = 1
+		}
+	}
+
+	cluster, err := js.NewCluster(cfg.Nodes, nil)
+	if err != nil {
+		return Stats{}, err
+	}
+	defer cluster.Free()
+	cb := js.NewCodebase()
+	if err := cb.Add(ClassName); err != nil {
+		return Stats{}, err
+	}
+	if err := cb.Load(cluster); err != nil {
+		return Stats{}, err
+	}
+	cb.Free()
+
+	n := cfg.N
+	A, B := Operands(cfg)
+
+	start := js.Now()
+	nodes := cluster.NrNodes()
+	slaves := make([]*jsymphony.Object, nodes)
+	for i := 0; i < nodes; i++ {
+		o, err := js.NewObjectTagged(SiteSlaves, i, ClassName, cluster, nil) //jsplace:fanout 8
+		if err != nil {
+			return Stats{}, err
+		}
+		slaves[i] = o
+		if err := slaves[i].OInvoke("Init", n, n, B, cfg.Model); err != nil {
+			return Stats{}, err
+		}
+	}
+
+	// Replication barrier (no resend: the placed benchmark runs without
+	// fault injection, so the one-sided copy only needs time to land).
+	for i := 0; i < nodes; i++ {
+		for {
+			ok, err := slaves[i].SInvoke("Ready")
+			if err != nil {
+				return Stats{}, err
+			}
+			if ok.(bool) {
+				break
+			}
+			js.Sleep(25 * time.Millisecond)
+		}
+	}
+
+	nrTasks := n / rowsPerTask
+	if n%rowsPerTask != 0 {
+		nrTasks++
+	}
+	var C []float32
+	if !cfg.Model {
+		C = make([]float32, n*n)
+	}
+
+	// Fixed round-robin dispatch: wave w hands task w*nodes+i to slave i.
+	handles := make([]*jsymphony.ResultHandle, nodes)
+	for t := 0; t < nrTasks; t += nodes {
+		for i := 0; i < nodes; i++ {
+			if t+i >= nrTasks {
+				handles[i] = nil
+				continue
+			}
+			row0 := (t + i) * rowsPerTask
+			rows := rowsPerTask
+			if row0+rows > n {
+				rows = n - row0
+			}
+			task := Task{Row0: row0, Rows: rows, A: A[row0*n : (row0+rows)*n]}
+			h, err := slaves[i].AInvoke("Multiply", task)
+			if err != nil {
+				return Stats{}, err
+			}
+			handles[i] = h
+		}
+		for i := 0; i < nodes; i++ {
+			if handles[i] == nil {
+				continue
+			}
+			res, err := handles[i].Result()
+			if err != nil {
+				return Stats{}, err
+			}
+			r := res.(Result)
+			if C != nil {
+				copy(C[r.Row0*n:], r.C)
+			}
+			handles[i] = nil
+		}
+	}
+	for i := range slaves {
+		_ = slaves[i].Free()
+	}
+	return Stats{
+		Elapsed: js.Now() - start,
+		Tasks:   nrTasks,
+		Nodes:   nodes,
+		C:       C,
+	}, nil
+}

@@ -1,0 +1,60 @@
+package matmul
+
+import (
+	"testing"
+
+	"jsymphony"
+)
+
+func TestPlacementHintsParse(t *testing.T) {
+	h, err := PlacementHints()
+	if err != nil {
+		t.Fatalf("embedded hints: %v", err)
+	}
+	if h.Workload != "jsymphony/workloads/matmul" {
+		t.Fatalf("workload = %q", h.Workload)
+	}
+	if len(h.Groups) == 0 {
+		t.Fatal("no groups in committed hints")
+	}
+	if _, ok := h.MainGroup(); !ok {
+		t.Fatal("committed hints have no driver group")
+	}
+}
+
+func TestRunPlacedMatchesReference(t *testing.T) {
+	for _, hinted := range []bool{false, true} {
+		env := jsymphony.NewSimEnv(jsymphony.UniformCluster(jsymphony.Ultra10_300, 4),
+			jsymphony.IdleProfile, 1, jsymphony.EnvOptions{})
+		env.RunMain("", func(js *jsymphony.JS) {
+			if hinted {
+				h, err := PlacementHints()
+				if err != nil {
+					t.Fatal(err)
+				}
+				js.InstallPlacementHints(h)
+			}
+			cfg := Config{N: 16, Nodes: 4, Model: false, Seed: 3}
+			st, err := RunPlaced(js, cfg)
+			if err != nil {
+				t.Fatalf("hinted=%v: %v", hinted, err)
+			}
+			A, B := Operands(cfg)
+			want := Multiply(A, B, cfg.N)
+			for i := range want {
+				if st.C[i] != want[i] {
+					t.Fatalf("hinted=%v: C[%d] = %v, want %v", hinted, i, st.C[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestRunPlacedValidation(t *testing.T) {
+	if _, err := RunPlaced(nil, Config{N: 0, Nodes: 1}); err == nil {
+		t.Fatal("N=0 accepted")
+	}
+	if _, err := RunPlaced(nil, Config{N: 8, Nodes: 0}); err == nil {
+		t.Fatal("Nodes=0 accepted")
+	}
+}
