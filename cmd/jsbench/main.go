@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "fig5", "experiment to run (fig5, mandel, automigrate, recovery, recover, replica, shard, slo, serve, place)")
+	experiment := flag.String("experiment", "fig5", "experiment to run (fig5, mandel, automigrate, recovery, recover, replica, shard, slo, serve, place, wire)")
 	sizes := flag.String("sizes", "200,400,600,800", "comma-separated problem sizes")
 	maxNodes := flag.Int("maxnodes", 13, "sweep node counts 1..maxnodes")
 	seed := flag.Int64("seed", 1, "simulation seed")
@@ -54,6 +54,8 @@ func main() {
 		runServe(*seed, *out)
 	case "place":
 		runPlace(*seed, *out)
+	case "wire":
+		runWire(*seed, *out)
 	default:
 		fmt.Fprintf(os.Stderr, "jsbench: unknown experiment %q\n", *experiment)
 		os.Exit(2)
@@ -267,6 +269,40 @@ func runPlace(seed int64, out string) {
 	fmt.Printf("result written to %s\n", out)
 	fmt.Println()
 	lines, ok := experiments.PlaceReportLines(res)
+	fmt.Println("Subsystem claims:")
+	for _, l := range lines {
+		fmt.Println("  " + l)
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func runWire(seed int64, out string) {
+	fmt.Println("Wire — zero-alloc schema-aware codec vs the gob baseline")
+	fmt.Println("(pooled binary wire path on the RMI hot path; DESIGN.md §15)")
+	fmt.Println()
+	cfg := experiments.WireConfig{Seed: seed}
+	res := experiments.Wire(cfg)
+	experiments.WriteWire(os.Stdout, res)
+	fmt.Println()
+	experiments.WriteWireSpeed(os.Stdout, experiments.MeasureWireSpeed())
+	if out == "" {
+		out = "BENCH_wire.json"
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jsbench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := experiments.WriteWireJSON(f, res); err != nil {
+		fmt.Fprintf(os.Stderr, "jsbench: %v\n", err)
+		os.Exit(1)
+	}
+	f.Close()
+	fmt.Printf("result written to %s\n", out)
+	fmt.Println()
+	lines, ok := experiments.WireReportLines(res)
 	fmt.Println("Subsystem claims:")
 	for _, l := range lines {
 		fmt.Println("  " + l)

@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether this binary was built with the race
+// detector; wall-clock speed claims are meaningless under its
+// instrumentation overhead.
+const raceEnabled = true

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The committed BENCH_wire.json must be reproducible byte for byte:
+// two full runs at the same seed — microbenchmarks, allocation counts,
+// and both end-to-end twin runs — encode identically.
+func TestWireDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full twin-run sweep in -short mode")
+	}
+	if raceEnabled {
+		// The race runtime randomly bypasses sync.Pool puts, so
+		// AllocsPerRun counts are nondeterministic under it.  The plain
+		// test job and the CI bench-artifact diff enforce this contract.
+		t.Skip("allocation counts are nondeterministic under the race detector")
+	}
+	var first []byte
+	for run := 0; run < 2; run++ {
+		res := Wire(WireConfig{Seed: 1})
+		var buf bytes.Buffer
+		if err := WriteWireJSON(&buf, res); err != nil {
+			t.Fatal(err)
+		}
+		if run == 0 {
+			first = buf.Bytes()
+			continue
+		}
+		if !bytes.Equal(first, buf.Bytes()) {
+			t.Fatalf("wire result not byte-deterministic:\n%s\n----\n%s", first, buf.Bytes())
+		}
+	}
+
+	// The claims must hold at other seeds too — the benefit is not a
+	// seed artifact.
+	for _, seed := range []int64{2, 3} {
+		res := Wire(WireConfig{Seed: seed})
+		if lines, ok := WireReportLines(res); !ok {
+			t.Errorf("seed %d: wire claims failed:\n%s", seed, lines)
+		}
+	}
+}
+
+// TestWireSpeedClaim gates the wall-clock half of the headline claim:
+// encode+decode on the wire path is at least 2x faster than gob for
+// every representative payload.  The measured margin is an order of
+// magnitude, so the 2x floor holds on a loaded CI machine.
+func TestWireSpeedClaim(t *testing.T) {
+	if raceEnabled {
+		t.Skip("wall-clock codec speed is not meaningful under the race detector")
+	}
+	for _, s := range MeasureWireSpeed() {
+		if s.Speedup < 2 {
+			t.Errorf("%s: wire encode+decode only %.2fx faster than gob (%.0fns vs %.0fns), want >= 2x",
+				s.Payload, s.Speedup, s.WireNs, s.GobNs)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+// Package gobwire confines encoding/gob to the codec seam.
+//
+// Invariant: the only gob in the repo is the registered-type fallback
+// inside internal/rmi (codec.go and the value codec's vGob capsule).
+// Everything else speaks the schema-aware wire format through
+// rmi.Marshal/Unmarshal — a stray gob import reintroduces the
+// reflection path the zero-alloc wire work removed, silently bypasses
+// the format tag that keeps mixed traffic decodable, and hides bytes
+// from the BENCH_wire accounting.  New code that needs serialization
+// goes through rmi.Marshal, which picks the right tier by itself.
+package gobwire
+
+import (
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"jsymphony/internal/analysis"
+)
+
+// allowedFiles are the codec-seam files (within a package whose import
+// path ends in internal/rmi) where the gob fallback lives.
+var allowedFiles = map[string]bool{
+	"codec.go": true,
+	"value.go": true,
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "gobwire",
+	Doc:  "forbids encoding/gob outside the rmi codec seam; use rmi.Marshal/Unmarshal (wire format + tagged fallback) instead",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	codecSeam := strings.HasSuffix(pass.Pkg.Path(), "internal/rmi")
+	for _, f := range pass.Files {
+		name := filepath.Base(pass.Fset.Position(f.Pos()).Filename)
+		if codecSeam && allowedFiles[name] {
+			continue
+		}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || path != "encoding/gob" {
+				continue
+			}
+			pass.Reportf(imp.Pos(),
+				"encoding/gob imported outside the rmi codec seam; encode through rmi.Marshal/Unmarshal so the body carries a format tag")
+		}
+	}
+	return nil
+}

@@ -1,0 +1,13 @@
+package gobwire_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"jsymphony/internal/analysis/analysistest"
+	"jsymphony/internal/analysis/gobwire"
+)
+
+func TestGobwire(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata"), gobwire.Analyzer, "./gobwire")
+}

@@ -1,0 +1,22 @@
+// Fixtures for the gobwire analyzer: encoding/gob imports outside the
+// rmi codec seam are flagged; other encoding packages are not, and a
+// //jsvet:allow directive waives a finding.
+package gobwire
+
+import (
+	"bytes"
+	"encoding/gob" // want `encoding/gob imported outside the rmi codec seam`
+	"encoding/json"
+)
+
+func bad(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func fine(v any) ([]byte, error) {
+	return json.Marshal(v)
+}

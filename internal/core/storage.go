@@ -1,7 +1,6 @@
 package core
 
 import (
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"io/fs"
@@ -11,6 +10,7 @@ import (
 	"sync"
 
 	"jsymphony/internal/replica"
+	"jsymphony/internal/rmi"
 )
 
 // ErrNotFound marks a Storage.Get miss: nothing is stored under the
@@ -114,8 +114,10 @@ func (m *MemStorage) Keys() ([]string, error) {
 	return out, nil
 }
 
-// FileStorage persists records as gob files in a directory, one file per
-// key — real external storage for real deployments.
+// FileStorage persists records as files in a directory, one file per
+// key — real external storage for real deployments.  Records go through
+// rmi.Marshal, so each file starts with a format tag and old files keep
+// decoding if the record encoding evolves.
 type FileStorage struct {
 	dir string
 	mu  sync.Mutex
@@ -139,28 +141,26 @@ func (f *FileStorage) path(key string) string {
 func (f *FileStorage) Put(key string, rec PersistRecord) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	file, err := os.Create(f.path(key))
+	data, err := rmi.Marshal(rec)
 	if err != nil {
 		return err
 	}
-	defer file.Close()
-	return gob.NewEncoder(file).Encode(rec)
+	return os.WriteFile(f.path(key), data, 0o644)
 }
 
 // Get implements Storage.
 func (f *FileStorage) Get(key string) (PersistRecord, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	file, err := os.Open(f.path(key))
+	data, err := os.ReadFile(f.path(key))
 	if err != nil {
 		if errors.Is(err, fs.ErrNotExist) {
 			return PersistRecord{}, fmt.Errorf("core: no stored object %q: %w", key, ErrNotFound)
 		}
 		return PersistRecord{}, fmt.Errorf("core: no stored object %q: %w", key, err)
 	}
-	defer file.Close()
 	var rec PersistRecord
-	if err := gob.NewDecoder(file).Decode(&rec); err != nil {
+	if err := rmi.Unmarshal(data, &rec); err != nil {
 		return PersistRecord{}, err
 	}
 	return rec, nil

@@ -242,7 +242,7 @@ func init() {
 	for _, v := range []any{
 		int(0), int8(0), int16(0), int32(0), int64(0),
 		uint(0), uint8(0), uint16(0), uint32(0), uint64(0),
-		float32(0), float64(0), false, "",
+		float32(0), float64(0), false, "", time.Duration(0),
 		[]int(nil), []int64(nil), []float32(nil), []float64(nil),
 		[]string(nil), []byte(nil), []any(nil),
 		map[string]string(nil), map[string]float64(nil), map[string]int(nil),

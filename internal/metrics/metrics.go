@@ -27,6 +27,7 @@ package metrics
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -178,45 +179,40 @@ func (c *Counter) Inc() { c.v.Add(1) }
 func (c *Counter) Value() int64 { return c.v.Load() }
 
 // Gauge is a last-write-wins float value (utilizations, staleness).
-type Gauge struct {
-	mu sync.Mutex
-	v  float64
-}
+// The value lives in an atomic word (IEEE 754 bits), so setters on the
+// hot path never contend on a lock.
+type Gauge struct{ bits atomic.Uint64 }
 
 // Set overwrites the gauge.
-func (g *Gauge) Set(v float64) {
-	g.mu.Lock()
-	g.v = v
-	g.mu.Unlock()
-}
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
 // Value returns the current value.
-func (g *Gauge) Value() float64 {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.v
-}
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
 // Histogram is a fixed-bucket distribution of int64 observations.
 // Bucket bounds are inclusive upper bounds; observations above the last
 // bound land in the implicit +Inf bucket.  Count and sum are integers,
 // so the final state is independent of observation order.
+//
+// Every cell is an independent atomic: Observe is a bounds search plus
+// three atomic adds, lock-free — RMI call latency and per-link byte
+// histograms sit on the hot path of every remote invocation, and a
+// mutex here serializes otherwise-independent stations.  Readers see
+// each cell atomically; exact cross-cell consistency holds whenever
+// observers are quiescent, which is when snapshots are taken.
 type Histogram struct {
-	mu     sync.Mutex
-	bounds []int64 // sorted upper bounds
-	counts []int64 // len(bounds)+1; last is +Inf
-	count  int64
-	sum    int64
+	bounds []int64        // sorted upper bounds; immutable after registration
+	counts []atomic.Int64 // len(bounds)+1; last is +Inf
+	count  atomic.Int64
+	sum    atomic.Int64
 }
 
 // Observe records one value.
 func (h *Histogram) Observe(v int64) {
-	h.mu.Lock()
 	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
-	h.counts[i]++
-	h.count++
-	h.sum += v
-	h.mu.Unlock()
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
 }
 
 // ObserveDuration records a scheduler-time duration in microseconds —
@@ -224,18 +220,10 @@ func (h *Histogram) Observe(v int64) {
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Microseconds()) }
 
 // Count returns the number of observations.
-func (h *Histogram) Count() int64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.count
-}
+func (h *Histogram) Count() int64 { return h.count.Load() }
 
 // Sum returns the sum of all observed values.
-func (h *Histogram) Sum() int64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.sum
-}
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
 
 // LatencyBuckets are the default bounds for *_us histograms: 50µs up to
 // 10s of scheduler time, roughly ×2.5 per step — wide enough to span a
@@ -308,7 +296,7 @@ func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
 		}
 		bs := append([]int64(nil), bounds...)
 		sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
-		h = &Histogram{bounds: bs, counts: make([]int64, len(bs)+1)}
+		h = &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
 		r.histograms[name] = h
 	}
 	return h

@@ -56,15 +56,17 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Gauges = append(s.Gauges, GaugeSnap{Name: name, Value: g.Value()})
 	}
 	for name, h := range r.histograms {
-		h.mu.Lock()
+		counts := make([]int64, len(h.counts))
+		for i := range h.counts {
+			counts[i] = h.counts[i].Load()
+		}
 		s.Histograms = append(s.Histograms, HistSnap{
 			Name:   name,
 			Bounds: append([]int64(nil), h.bounds...),
-			Counts: append([]int64(nil), h.counts...),
-			Count:  h.count,
-			Sum:    h.sum,
+			Counts: counts,
+			Count:  h.count.Load(),
+			Sum:    h.sum.Load(),
 		})
-		h.mu.Unlock()
 	}
 	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
 	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })

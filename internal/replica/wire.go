@@ -1,0 +1,41 @@
+package replica
+
+import "jsymphony/internal/rmi/wire"
+
+// setTag is this package's struct tag in the wire registry
+// (DESIGN.md §15).
+const setTag byte = 0x40
+
+// AppendWire appends the set's fields without framing, for embedding
+// inside enclosing protocol structs (invokeResp, locateResp).
+func (s Set) AppendWire(buf []byte) []byte {
+	buf = wire.AppendString(buf, s.Primary)
+	buf = wire.AppendStrings(buf, s.Replicas)
+	buf = wire.AppendString(buf, string(s.Mode))
+	buf = wire.AppendDuration(buf, s.Lease)
+	return wire.AppendStrings(buf, s.Reads)
+}
+
+// DecodeWire reads the fields appended by AppendWire; failures stick
+// in d.
+func (s *Set) DecodeWire(d *wire.Dec) {
+	s.Primary = d.String()
+	s.Replicas = d.Strings()
+	s.Mode = Mode(d.String())
+	s.Lease = d.Duration()
+	s.Reads = d.Strings()
+}
+
+// AppendTo implements wire.Encoder for sets crossing the wire as whole
+// bodies or inside []any arguments.
+func (s Set) AppendTo(buf []byte) []byte {
+	return s.AppendWire(append(buf, setTag))
+}
+
+// DecodeFrom implements wire.Decoder.
+func (s *Set) DecodeFrom(b []byte) error {
+	d := wire.NewDec(b)
+	d.Tag(setTag)
+	s.DecodeWire(&d)
+	return d.Finish()
+}

@@ -1,26 +1,45 @@
 package rmi
 
+import (
+	"fmt"
+
+	"jsymphony/internal/rmi/wire"
+)
+
 // Batch is the control-plane batching envelope: several independently
-// gob-encoded messages bound for the same destination service, shipped
-// in one RMI.  The canonical user is the write-authority renewer,
-// which folds one replicaAuthRenew per object into one replicaAuthBatch
-// per *node* — a dead primary host then burns a single grant budget for
+// encoded messages bound for the same destination service, shipped in
+// one RMI.  The canonical user is the write-authority renewer, which
+// folds one replicaAuthRenew per object into one replicaAuthBatch per
+// *node* — a dead primary host then burns a single grant budget for
 // all of its objects instead of one per object (ROADMAP "Per-node
 // grant batching").
 //
 // Items are opaque to the envelope; sender and receiver agree on the
-// per-item type the way they already do for unbatched messages.
+// per-item type the way they already do for unbatched messages.  Each
+// item is appended straight into one shared buffer with a length
+// prefix — the gob-era envelope encoded every item twice (item bytes,
+// then the [][]byte envelope re-encoding them) and allocated a slice
+// header per item; this one encodes each item once and allocates
+// nothing beyond the buffer it fills.
+//
+// The fields are exported only so the gob fallback (SetGobOnly
+// baselines) can carry the envelope; treat them as internal.
 type Batch struct {
-	Items [][]byte
+	Count int    // number of items
+	Buf   []byte // uvarint length-prefixed item encodings, back to back
+	offs  []int  // lazily built start offset of each item's prefix
 }
 
-// Append marshals v and adds it to the batch.
+// Append encodes v (wire fast path or gob fallback, exactly like a
+// message body) and adds it to the batch.
 func (b *Batch) Append(v any) error {
-	data, err := Marshal(v)
+	item, err := Marshal(v)
 	if err != nil {
 		return err
 	}
-	b.Items = append(b.Items, data)
+	b.Buf = wire.AppendBytes(b.Buf, item)
+	b.Count++
+	b.offs = nil
 	return nil
 }
 
@@ -33,9 +52,69 @@ func (b *Batch) MustAppend(v any) {
 }
 
 // Len returns the number of batched items.
-func (b *Batch) Len() int { return len(b.Items) }
+func (b *Batch) Len() int { return b.Count }
+
+// index scans the buffer once and memoizes each item's offset.
+func (b *Batch) index() error {
+	if b.offs != nil || b.Count == 0 {
+		return nil
+	}
+	offs := make([]int, 0, b.Count)
+	d := wire.NewDec(b.Buf)
+	for i := 0; i < b.Count; i++ {
+		offs = append(offs, len(b.Buf)-d.Remaining())
+		d.Bytes()
+		if err := d.Err(); err != nil {
+			return fmt.Errorf("rmi: batch item %d: %w", i, err)
+		}
+	}
+	if err := d.Finish(); err != nil {
+		return fmt.Errorf("rmi: batch: %w", err)
+	}
+	b.offs = offs
+	return nil
+}
 
 // Decode unmarshals item i into v (a pointer).
 func (b *Batch) Decode(i int, v any) error {
-	return Unmarshal(b.Items[i], v)
+	if err := b.index(); err != nil {
+		return err
+	}
+	if i < 0 || i >= len(b.offs) {
+		return fmt.Errorf("rmi: batch item %d out of range [0,%d)", i, len(b.offs))
+	}
+	d := wire.NewDec(b.Buf[b.offs[i]:])
+	item := d.Bytes()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	return Unmarshal(item, v)
+}
+
+// AppendTo implements wire.Encoder (value receiver: envelopes cross
+// Marshal by value).
+func (b Batch) AppendTo(buf []byte) []byte {
+	buf = append(buf, tagBatch)
+	buf = wire.AppendUvarint(buf, uint64(b.Count))
+	return wire.AppendBytes(buf, b.Buf)
+}
+
+// DecodeFrom implements wire.Decoder.  The item buffer is validated
+// eagerly — a corrupt envelope fails here with a typed error, not at
+// the first Decode.
+func (b *Batch) DecodeFrom(data []byte) error {
+	d := wire.NewDec(data)
+	d.Tag(tagBatch)
+	n := d.Uvarint()
+	buf := d.BytesCopy()
+	if err := d.Finish(); err != nil {
+		return err
+	}
+	if n > uint64(len(buf)) {
+		return fmt.Errorf("%w: batch count %d exceeds %d payload bytes", wire.ErrTruncated, n, len(buf))
+	}
+	b.Count = int(n)
+	b.Buf = buf
+	b.offs = nil
+	return b.index()
 }

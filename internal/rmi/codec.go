@@ -3,18 +3,95 @@ package rmi
 import (
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"sync/atomic"
+
+	"jsymphony/internal/rmi/wire"
 )
 
-// Marshal gob-encodes v.  JavaSymphony requires "all objects that can be
-// created remotely to be serializable" (§4.3); gob plays the role of Java
-// object serialization.  Concrete types carried inside interface fields
-// must be registered with RegisterType first, exactly as Java requires
-// Serializable implementations on the classpath.
+// The wire format of every message body starts with a one-byte format
+// tag selecting the codec (DESIGN.md §15).  Mixed traffic is legal by
+// construction: the decoder dispatches per message, so a node speaking
+// the schema-aware format interoperates with a body that fell back to
+// gob — and with a peer pinned to gob by SetGobOnly.
+const (
+	// FormatWire marks a schema-aware encoding: a struct tag byte
+	// follows, then the struct's hand-written field layout.
+	FormatWire = 0x57 // 'W'
+	// FormatGob marks a gob stream: the reflection-driven fallback
+	// carrying registered user types (the paper's Java-serialization
+	// role, §4.3).
+	FormatGob = 0x47 // 'G'
+	// FormatValue marks a single tagged value (see value.go): scalars,
+	// common slices, and registered wire types that cross the wire as
+	// whole bodies without a wrapping struct.
+	FormatValue = 0x56 // 'V'
+)
+
+// ErrCodec wraps every Marshal/Unmarshal failure so callers have one
+// sentinel for "the body was undecodable" distinct from transport
+// errors.
+var ErrCodec = errors.New("rmi: codec")
+
+// gobOnly pins Marshal to the gob path for every value.  It exists for
+// one purpose: the wire experiment's baseline runs, which measure the
+// gob-era cost of the same traffic on the same simulated cluster.
+// Decoding always honors the format tag, so a gob-only sender and a
+// wire-speaking receiver interoperate.
+var gobOnly atomic.Bool
+
+// SetGobOnly pins (or unpins) the legacy all-gob encode path.
+// Benchmark baselines only; returns the previous setting.
+func SetGobOnly(on bool) bool { return gobOnly.Swap(on) }
+
+// Marshal encodes v for the wire.  JavaSymphony requires "all objects
+// that can be created remotely to be serializable" (§4.3); this is
+// that layer, with three tiers:
+//
+//   - Internal protocol structs implement wire.Encoder and encode
+//     through their hand-written schema — no reflection, one exact
+//     allocation.
+//   - Scalars, common slices, and registered wire types encode as a
+//     single tagged value.
+//   - Everything else gob-encodes, exactly as before; concrete types
+//     carried inside interface fields must be registered with
+//     RegisterType first, as Java requires Serializable classes on the
+//     classpath.
 func Marshal(v any) ([]byte, error) {
+	if !gobOnly.Load() {
+		if e, ok := v.(wire.Encoder); ok {
+			scratch := wire.Buffers.Get()
+			scratch = append(scratch, FormatWire)
+			scratch = e.AppendTo(scratch)
+			out := make([]byte, len(scratch))
+			copy(out, scratch)
+			wire.Buffers.Put(scratch)
+			return out, nil
+		}
+		if canAppendValue(v) {
+			scratch := wire.Buffers.Get()
+			scratch = append(scratch, FormatValue)
+			scratch, err := appendValue(scratch, v)
+			if err == nil {
+				out := make([]byte, len(scratch))
+				copy(out, scratch)
+				wire.Buffers.Put(scratch)
+				return out, nil
+			}
+			wire.Buffers.Put(scratch)
+			return nil, fmt.Errorf("%w: marshal: %v", ErrCodec, err)
+		}
+	}
+	return marshalGob(v)
+}
+
+// marshalGob is the reflection fallback, tagged so the decoder knows.
+func marshalGob(v any) ([]byte, error) {
 	var buf bytes.Buffer
+	buf.WriteByte(FormatGob)
 	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
-		return nil, fmt.Errorf("rmi: marshal: %w", err)
+		return nil, fmt.Errorf("%w: marshal: %v", ErrCodec, err)
 	}
 	return buf.Bytes(), nil
 }
@@ -29,19 +106,39 @@ func MustMarshal(v any) []byte {
 	return b
 }
 
-// Unmarshal gob-decodes data into v (a pointer).
+// Unmarshal decodes data into v (a pointer), dispatching on the format
+// tag.  Decoding never consults SetGobOnly: the tag alone selects the
+// path, so mixed-era traffic always decodes.
 func Unmarshal(data []byte, v any) error {
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
-		return fmt.Errorf("rmi: unmarshal: %w", err)
+	if len(data) == 0 {
+		return fmt.Errorf("%w: unmarshal: %v", ErrCodec, wire.ErrTruncated)
 	}
-	return nil
+	switch data[0] {
+	case FormatWire:
+		d, ok := v.(wire.Decoder)
+		if !ok {
+			return fmt.Errorf("%w: unmarshal: %T does not implement wire.Decoder for a wire-format body", ErrCodec, v)
+		}
+		if err := d.DecodeFrom(data[1:]); err != nil {
+			return fmt.Errorf("%w: unmarshal: %v", ErrCodec, err)
+		}
+		return nil
+	case FormatValue:
+		if err := decodeValueInto(data[1:], v); err != nil {
+			return fmt.Errorf("%w: unmarshal: %v", ErrCodec, err)
+		}
+		return nil
+	case FormatGob:
+		if err := gob.NewDecoder(bytes.NewReader(data[1:])).Decode(v); err != nil {
+			return fmt.Errorf("%w: unmarshal: %v", ErrCodec, err)
+		}
+		return nil
+	}
+	return fmt.Errorf("%w: unmarshal: %v: unknown format tag 0x%02x", ErrCodec, wire.ErrCorrupt, data[0])
 }
 
-// RegisterType makes a concrete type transmissible inside interface-typed
-// fields (method parameters and results are []any on the wire).
+// RegisterType makes a concrete type transmissible inside
+// interface-typed fields (method parameters and results are []any on
+// the wire).  The contract is unchanged from the gob era: anything a
+// handler may receive inside an any must be registered up front.
 func RegisterType(v any) { gob.Register(v) }
-
-func init() {
-	// The wire message itself crosses the TCP transport gob-encoded.
-	gob.Register(&Message{})
-}

@@ -1,0 +1,56 @@
+package rmi
+
+import (
+	"fmt"
+
+	"jsymphony/internal/rmi/wire"
+)
+
+// Struct tags of this package's wire encodings (DESIGN.md §15).
+const (
+	tagMessage byte = 0x01
+	tagBatch   byte = 0x02
+)
+
+// AppendTo implements wire.Encoder: the transport framing of one
+// message.  Field order follows the struct; Body is opaque bytes (it
+// carries its own format tag).
+func (m *Message) AppendTo(buf []byte) []byte {
+	buf = append(buf, tagMessage)
+	buf = wire.AppendString(buf, m.From)
+	buf = wire.AppendString(buf, m.To)
+	buf = append(buf, byte(m.Kind))
+	buf = wire.AppendUvarint(buf, m.ID)
+	buf = wire.AppendString(buf, m.Service)
+	buf = wire.AppendString(buf, m.Method)
+	buf = wire.AppendBytes(buf, m.Body)
+	buf = wire.AppendVarint(buf, int64(m.Pad))
+	buf = wire.AppendString(buf, m.Err)
+	buf = wire.AppendBool(buf, m.Idem)
+	return buf
+}
+
+// DecodeFrom implements wire.Decoder.  Body is copied — transports
+// recycle their read buffers, and a message outlives the frame it
+// arrived in.
+func (m *Message) DecodeFrom(b []byte) error {
+	d := wire.NewDec(b)
+	d.Tag(tagMessage)
+	m.From = d.String()
+	m.To = d.String()
+	m.Kind = Kind(d.Byte())
+	m.ID = d.Uvarint()
+	m.Service = d.String()
+	m.Method = d.String()
+	m.Body = d.BytesCopy()
+	m.Pad = int(d.Varint())
+	m.Err = d.String()
+	m.Idem = d.Bool()
+	if err := d.Finish(); err != nil {
+		return err
+	}
+	if m.Kind < KindRequest || m.Kind > KindOneWay {
+		return fmt.Errorf("%w: message kind %d", wire.ErrCorrupt, m.Kind)
+	}
+	return nil
+}

@@ -23,8 +23,7 @@ type stationMetrics struct {
 	bytesOut    *metrics.Counter   // js_rmi_bytes_out_total{node}
 	bytesIn     *metrics.Counter   // js_rmi_bytes_in_total{node}
 
-	mu    sync.Mutex
-	links map[string]*linkMetrics
+	links sync.Map // peer string -> *linkMetrics
 	node  string
 }
 
@@ -48,23 +47,23 @@ func newStationMetrics(reg *metrics.Registry, node string) *stationMetrics {
 		served:      reg.Counter(metrics.Label("js_rmi_served_total", "node", node)),
 		bytesOut:    reg.Counter(metrics.Label("js_rmi_bytes_out_total", "node", node)),
 		bytesIn:     reg.Counter(metrics.Label("js_rmi_bytes_in_total", "node", node)),
-		links:       make(map[string]*linkMetrics),
 	}
 }
 
 // link returns (memoizing) the instruments for the node→peer link.
+// After the first call for a peer this is one lock-free map read; the
+// peer set of a station is small and stable, the per-message rate is
+// not.
 func (m *stationMetrics) link(peer string) *linkMetrics {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	l, ok := m.links[peer]
-	if !ok {
-		l = &linkMetrics{
-			latency: m.reg.Histogram(metrics.Label("js_rmi_link_latency_us", "node", m.node, "peer", peer), nil),
-			bytes:   m.reg.Histogram(metrics.Label("js_rmi_link_bytes", "node", m.node, "peer", peer), metrics.SizeBuckets),
-		}
-		m.links[peer] = l
+	if l, ok := m.links.Load(peer); ok {
+		return l.(*linkMetrics)
 	}
-	return l
+	l := &linkMetrics{
+		latency: m.reg.Histogram(metrics.Label("js_rmi_link_latency_us", "node", m.node, "peer", peer), nil),
+		bytes:   m.reg.Histogram(metrics.Label("js_rmi_link_bytes", "node", m.node, "peer", peer), metrics.SizeBuckets),
+	}
+	actual, _ := m.links.LoadOrStore(peer, l)
+	return actual.(*linkMetrics)
 }
 
 // SetMetrics points the station at a registry.  Call before Start; a nil

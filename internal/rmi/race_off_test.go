@@ -1,0 +1,5 @@
+//go:build !race
+
+package rmi
+
+const raceEnabled = false

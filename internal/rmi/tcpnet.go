@@ -1,11 +1,14 @@
 package rmi
 
 import (
-	"encoding/gob"
+	"bufio"
+	"encoding/binary"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 
+	"jsymphony/internal/rmi/wire"
 	"jsymphony/internal/sched"
 )
 
@@ -65,11 +68,48 @@ func (n *TCPNetwork) lookup(node string) (string, bool) {
 	return a, ok
 }
 
+// maxTCPFrame bounds one frame so a corrupt or hostile length prefix
+// cannot provoke an unbounded allocation.
+const maxTCPFrame = 64 << 20
+
 type tcpConn struct {
 	mu   sync.Mutex
 	c    net.Conn
-	enc  *gob.Encoder
 	dead bool
+}
+
+// writeFrame sends one length-prefixed wire-encoded message.  The
+// frame is assembled in a pooled buffer: steady state writes allocate
+// nothing.  Caller holds conn.mu.
+func (c *tcpConn) writeFrame(msg *Message) error {
+	buf := wire.Buffers.Get()
+	buf = append(buf, 0, 0, 0, 0) // length placeholder
+	buf = msg.AppendTo(buf)
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(buf)-4))
+	_, err := c.c.Write(buf)
+	wire.Buffers.Put(buf)
+	return err
+}
+
+// readFrame reads one frame and decodes it into a fresh message.
+func readFrame(r *bufio.Reader) (*Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > maxTCPFrame {
+		return nil, fmt.Errorf("%w: frame length %d", wire.ErrCorrupt, n)
+	}
+	frame := make([]byte, n)
+	if _, err := io.ReadFull(r, frame); err != nil {
+		return nil, err
+	}
+	msg := new(Message)
+	if err := msg.DecodeFrom(frame); err != nil {
+		return nil, err
+	}
+	return msg, nil
 }
 
 type tcpEndpoint struct {
@@ -96,13 +136,13 @@ func (ep *tcpEndpoint) acceptLoop() {
 	}
 }
 
-// readLoop decodes inbound messages from one connection into the queue.
+// readLoop decodes inbound frames from one connection into the queue.
 func (ep *tcpEndpoint) readLoop(c net.Conn) {
 	defer c.Close()
-	dec := gob.NewDecoder(c)
+	r := bufio.NewReader(c)
 	for {
-		var msg Message
-		if err := dec.Decode(&msg); err != nil {
+		msg, err := readFrame(r)
+		if err != nil {
 			return
 		}
 		ep.mu.Lock()
@@ -111,7 +151,7 @@ func (ep *tcpEndpoint) readLoop(c net.Conn) {
 		if closed {
 			return
 		}
-		ep.queue.Put(&msg, 0)
+		ep.queue.Put(msg, 0)
 	}
 }
 
@@ -131,7 +171,7 @@ func (ep *tcpEndpoint) Send(p sched.Proc, to string, msg *Message) error {
 	if conn.dead {
 		return fmt.Errorf("%w: connection to %q lost", ErrNoRoute, to)
 	}
-	if err := conn.enc.Encode(msg); err != nil {
+	if err := conn.writeFrame(msg); err != nil {
 		conn.dead = true
 		conn.c.Close()
 		ep.mu.Lock()
@@ -158,7 +198,7 @@ func (ep *tcpEndpoint) connTo(to string) (*tcpConn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("rmi: dial %q: %w", to, err)
 	}
-	conn := &tcpConn{c: c, enc: gob.NewEncoder(c)}
+	conn := &tcpConn{c: c}
 
 	ep.mu.Lock()
 	defer ep.mu.Unlock()

@@ -1,0 +1,8 @@
+//go:build race
+
+package wire
+
+// raceEnabled reports whether this binary was built with the race
+// detector; it randomly bypasses sync.Pool puts, so zero-allocation
+// assertions are not meaningful under it.
+const raceEnabled = true
